@@ -1,0 +1,22 @@
+# Convenience targets; everything is plain pytest underneath.
+
+.PHONY: install test bench examples reproduce clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script; done
+
+reproduce:
+	python -m repro reproduce --scale paper --out reproduction_report.md
+
+clean:
+	rm -rf .pytest_cache .benchmarks src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

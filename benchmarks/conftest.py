@@ -1,0 +1,17 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs one figure's experiment driver at (scaled) paper scale,
+prints the same rows/series the paper reports, and asserts the headline
+shape so a regression in any layer fails loudly.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,30 @@
+"""Raw-engine throughput benchmarks (not a paper figure).
+
+These give pytest-benchmark real repeated timings for the hot paths:
+slot-level inventory simulation and Phase II planning.
+"""
+
+from repro.core.cost import PAPER_R420
+from repro.core.scheduler import TargetScheduler
+from repro.gen2.aloha import QAdaptive
+from repro.gen2.inventory import InventoryEngine
+from repro.gen2.timing import R420_PROFILE
+from repro.gen2.epc import random_epc_population
+
+
+def test_inventory_round_throughput(benchmark):
+    engine = InventoryEngine(
+        R420_PROFILE, lambda: QAdaptive(initial_q=4), rng=1
+    )
+    log = benchmark(engine.run_round, range(50))
+    assert len(log.reads) == 50
+
+
+def test_scheduler_planning_throughput(benchmark):
+    population = random_epc_population(200, rng=2)
+    scheduler = TargetScheduler(PAPER_R420, rng=3)
+    targets = {population[i].value for i in range(10)}
+    # Prime the window cache as a steady-state cycle would have it.
+    scheduler.plan(population, targets, (0,), 5.0)
+    plan = benchmark(scheduler.plan, population, targets, (0,), 5.0)
+    assert plan.rospec is not None

@@ -1,0 +1,31 @@
+"""Fig 2 benchmark: empirical IRR vs tag count against the model.
+
+Paper: IRR falls from 63 Hz to 12 Hz (84% drop) by n~40; the analytic
+Lambda(n) = 1/(tau_0 + n e tau_bar ln n) tracks the measured trend with
+fitted tau_0 = 19 ms, tau_bar = 0.18 ms.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig02_irr
+
+
+def test_fig02_irr(benchmark):
+    result = run_once(
+        benchmark, fig02_irr.run,
+        tag_counts=(1, 2, 5, 10, 15, 20, 25, 30, 35, 40),
+        initial_qs=(4, 2, 6),
+        repeats=20,
+        seed=1,
+    )
+    print()
+    print(fig02_irr.format_report(result))
+
+    assert result.drop_fraction > 0.75  # paper: 84%
+    assert 0.015 < result.fitted.tau0_s < 0.025  # paper: 19 ms
+    assert 0.0001 < result.fitted.tau_bar_s < 0.0006  # paper: 0.18 ms
+    measured = np.array(result.curves[0].irr_hz)
+    model = np.array(result.model_irr_hz)
+    # Model tracks the measurement trend (paper: "agrees well ... in trend").
+    assert np.corrcoef(measured, model)[0, 1] > 0.99

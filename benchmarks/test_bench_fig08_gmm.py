@@ -1,0 +1,22 @@
+"""Fig 8 benchmark: multi-modal phase of a stationary tag under ambient
+motion.
+
+Paper: the phase histogram of a stationary tag in a dynamic environment
+forms a *group* of Gaussians (one per multipath superposition), not one.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig08_gmm
+
+
+def test_fig08_gmm(benchmark):
+    result = run_once(benchmark, fig08_gmm.run, duration_s=60.0, seed=5)
+    print()
+    print(fig08_gmm.format_report(result))
+
+    assert len(result.modes) >= 2  # multi-modal, as Fig 8 shows
+    assert result.n_reliable_modes >= 1
+    # Each learned mode is far tighter than one Gaussian over everything.
+    top = result.modes[0]
+    assert top.std_rad < result.single_gaussian_std

@@ -1,0 +1,32 @@
+"""Fig 12 benchmark: ROC of the four motion detectors.
+
+Paper: Phase-MoG reaches >=0.95 TPR at <=0.1 FPR; both phase detectors
+beat both RSS detectors; MoG controls false positives better than naive
+differencing.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12_roc
+
+
+def test_fig12_roc(benchmark):
+    result = run_once(
+        benchmark, fig12_roc.run,
+        n_stationary=30,
+        n_people=3,
+        monitor_duration_s=120.0,
+        mobile_duration_s=40.0,
+        seed=11,
+    )
+    print()
+    print(fig12_roc.format_report(result))
+
+    curves = result.curves
+    assert curves["Phase-MoG"].tpr_at_fpr(0.1) >= 0.95  # paper headline
+    assert curves["Phase-MoG"].auc > curves["Rss-MoG"].auc
+    assert curves["Phase-differencing"].auc > curves["Rss-differencing"].auc
+    assert (
+        curves["Phase-MoG"].tpr_at_fpr(0.1)
+        >= curves["Phase-differencing"].tpr_at_fpr(0.1)
+    )

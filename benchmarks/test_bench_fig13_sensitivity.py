@@ -1,0 +1,30 @@
+"""Fig 13 benchmark: detection sensitivity vs displacement.
+
+Paper: phase detects ~80%/87%/99% of 1/2/3 cm displacements while RSS
+manages 9%/18% at 1-2 cm, reaching ~76% only by 5 cm.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig13_sensitivity
+
+
+def test_fig13_sensitivity(benchmark):
+    result = run_once(
+        benchmark, fig13_sensitivity.run,
+        displacements_cm=(1.0, 2.0, 3.0, 4.0, 5.0),
+        trials=20,
+        settle_s=8.0,
+        seed=13,
+    )
+    print()
+    print(fig13_sensitivity.format_report(result))
+
+    phase = result.phase_detection_rate
+    rss = result.rss_detection_rate
+    assert phase[0] >= 0.6  # paper: 80% at 1 cm
+    assert phase[2] >= 0.9  # paper: 99% at 3 cm
+    assert rss[0] <= 0.3  # paper: 9% at 1 cm
+    assert all(p >= r for p, r in zip(phase, rss))
+    # Detection improves (weakly) with displacement.
+    assert phase[-1] >= phase[0]

@@ -1,0 +1,20 @@
+"""Fig 14 benchmark: the immobility-model learning curve.
+
+Paper: ~70% detection accuracy after ~1.49 s of trace (~67 readings) and
+~90% after ~2.9 s (~130 readings) — one 5 s cycle stabilises a new mode.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig14_learning
+
+
+def test_fig14_learning(benchmark):
+    result = run_once(benchmark, fig14_learning.run, duration_s=60.0, seed=17)
+    print()
+    print(fig14_learning.format_report(result))
+
+    assert result.reads_needed(0.7) <= 90  # paper: ~67 readings
+    assert result.reads_needed(0.9) <= 150  # paper: ~130 readings
+    assert result.accuracy[0] < 0.5  # cold start really is cold
+    assert max(result.accuracy) >= 0.9

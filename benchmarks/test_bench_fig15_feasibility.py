@@ -1,0 +1,38 @@
+"""Fig 15/16 benchmark: schedule feasibility with 2 and 5 of 40 targets.
+
+Paper (Fig 15, 2/40): Tagwatch lifts target IRR from 13 to 47 Hz (+261%),
+naive reaches 24 Hz; non-targets drop to ~0 during Phase II.
+Paper (Fig 16, 5/40): Tagwatch still gains (+120%) while naive's
+per-target Select start-ups erode most of its advantage.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig15_feasibility
+
+
+def run_both():
+    two = fig15_feasibility.run(n_targets=2, duration_s=10.0, seed=19)
+    five = fig15_feasibility.run(n_targets=5, duration_s=10.0, seed=19)
+    return two, five
+
+
+def test_fig15_16_feasibility(benchmark):
+    two, five = run_once(benchmark, run_both)
+    print()
+    print(fig15_feasibility.format_report(two))
+    print()
+    print(fig15_feasibility.format_report(five))
+
+    # Fig 15 (2/40): Tagwatch's absolute target IRR lands near the paper's
+    # 47 Hz; naive near its 24 Hz; ordering tagwatch > naive > read-all.
+    assert 35 < two.schemes["tagwatch"].target_irr_mean_hz < 60
+    assert two.gain("tagwatch") > two.gain("naive") > 1.0
+    assert (
+        two.schemes["tagwatch"].nontarget_irr_mean_hz
+        < 0.2 * two.schemes["read-all"].nontarget_irr_mean_hz
+    )
+    # Fig 16 (5/40): gains shrink for both; naive shrinks harder.
+    assert five.gain("tagwatch") < two.gain("tagwatch")
+    assert five.gain("naive") < two.gain("naive")
+    assert five.gain("tagwatch") > five.gain("naive")

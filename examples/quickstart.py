@@ -1,0 +1,78 @@
+"""Quickstart: rate-adaptive reading in ~60 lines.
+
+Builds a small simulated deployment (38 stationary tags + 2 tags spinning on
+a turntable), runs the Tagwatch two-phase loop, and compares every tag's
+individual reading rate (IRR) against plain read-everything inventory.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import Tagwatch, TagwatchConfig
+from repro.experiments.harness import build_lab, read_all_irr
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    n_tags, n_mobile = 40, 2
+
+    # --- baseline: plain continuous inventory --------------------------
+    # partition=True is the paper's deployment: each antenna covers its
+    # own cluster of tags.
+    baseline = build_lab(
+        n_tags=n_tags, n_mobile=n_mobile, seed=7, partition=True
+    )
+    baseline_irr, _ = read_all_irr(baseline, duration_s=10.0)
+
+    # --- Tagwatch: two-phase rate-adaptive reading ---------------------
+    setup = build_lab(n_tags=n_tags, n_mobile=n_mobile, seed=7, partition=True)
+    tagwatch = setup.tagwatch(TagwatchConfig(phase2_duration_s=2.0))
+
+    # Let the immobility models mature (a fresh deployment assumes every
+    # tag is moving until it has evidence otherwise), then measure.
+    tagwatch.warm_up(15.0)
+    results = tagwatch.run(4)
+    t0 = results[0].phase1_start_s
+    t1 = results[-1].phase2_end_s
+
+    mobile_values = setup.mobile_epc_values
+    rows = []
+    for epc in setup.epcs[:6]:
+        kind = "mobile" if epc.value in mobile_values else "stationary"
+        rows.append(
+            [
+                str(epc)[:12] + "...",
+                kind,
+                baseline_irr.get(epc.value, 0.0),
+                tagwatch.history.irr(epc.value, t0, t1).irr_hz,
+            ]
+        )
+    print(
+        format_table(
+            ["EPC", "state", "read-all IRR (Hz)", "Tagwatch IRR (Hz)"],
+            rows,
+            precision=1,
+            title=f"Rate-adaptive reading: {n_mobile} mobile of {n_tags} tags",
+        )
+    )
+
+    final = results[-1]
+    print(
+        f"\nlast cycle: {final.n_tags_seen} tags seen, "
+        f"{len(final.target_epc_values)} targeted, "
+        f"bitmasks={[str(b) for b in final.plan.selection.bitmasks] if final.plan else []}"
+    )
+    mobile_irrs = [
+        tagwatch.history.irr(v, t0, t1).irr_hz for v in mobile_values
+    ]
+    base_irrs = [baseline_irr[v] for v in mobile_values]
+    print(
+        f"mobile-tag IRR gain: {np.mean(mobile_irrs) / np.mean(base_irrs):.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,172 @@
+"""Retail shelf monitoring: pick events from rate-adaptive readings.
+
+The paper's ShopMiner motivation: a store wants to know *which* items
+customers pick up and walk away with, out of hundreds sitting still.  This
+example wires Tagwatch's delivery stream into a tiny event detector:
+
+- an item that starts being targeted (motion detected) raises ``PICKED``;
+- a targeted item that stops being read altogether raises ``LEFT`` (it was
+  carried out of the antenna field).
+
+Two items are picked during the run (one put back, one carried away) while
+28 others sit on the shelves.
+
+Run with::
+
+    python examples/retail_shelf_events.py
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core import Tagwatch, TagwatchConfig, TagwatchMonitor
+from repro.gen2 import random_epc_population
+from repro.radio.constants import single_channel
+from repro.reader import LLRPClient, SimReader
+from repro.util.rng import RngStream
+from repro.util.tables import format_table
+from repro.world import Antenna, Scene, Stationary, TagInstance, WaypointPath
+
+PICK_A_AT = 30.0  # picked up, inspected, put back
+PICK_B_AT = 37.0  # picked up and carried out of the store
+
+
+@dataclass
+class ShelfEvent:
+    """One detected event."""
+
+    time_s: float
+    epc_hex: str
+    kind: str  # PICKED / LEFT
+
+
+def build_store(seed: int):
+    """30 items on two shelves; two get handled mid-run."""
+    streams = RngStream(seed)
+    epcs = random_epc_population(30, rng=streams.child("epcs"))
+    placement = streams.child("placement")
+    tags: List[TagInstance] = []
+
+    # Item A: lifted 30 cm, turned over for 4 s, put back.
+    shelf_a = np.array([0.5, 2.0, 1.0])
+    inspect = WaypointPath(
+        [
+            (PICK_A_AT, shelf_a),
+            (PICK_A_AT + 1.0, shelf_a + (0.1, -0.3, 0.2)),
+            (PICK_A_AT + 3.0, shelf_a + (-0.1, -0.25, 0.15)),
+            (PICK_A_AT + 4.0, shelf_a),
+        ]
+    )
+    tags.append(
+        TagInstance(
+            epc=epcs[0],
+            trajectory=inspect,
+            phase_offset_rad=float(placement.uniform(0, 2 * np.pi)),
+        )
+    )
+    # Item B: carried toward the door, out of range at PICK_B_AT + 6.
+    shelf_b = np.array([1.4, 2.0, 1.0])
+    carried = WaypointPath(
+        [
+            (PICK_B_AT, shelf_b),
+            (PICK_B_AT + 6.0, shelf_b + (6.0, -3.0, -0.2)),
+        ]
+    )
+    tags.append(
+        TagInstance(
+            epc=epcs[1],
+            trajectory=carried,
+            exit_time=PICK_B_AT + 6.0,
+            phase_offset_rad=float(placement.uniform(0, 2 * np.pi)),
+        )
+    )
+    for i in range(2, 30):
+        tags.append(
+            TagInstance(
+                epc=epcs[i],
+                trajectory=Stationary(
+                    (0.25 * (i % 10), 2.0 + 0.5 * (i // 10), 1.0)
+                ),
+                phase_offset_rad=float(placement.uniform(0, 2 * np.pi)),
+            )
+        )
+    scene = Scene(
+        [Antenna((-2.0, 0.0, 2.4), range_m=6.0),
+         Antenna((2.0, 0.0, 2.4), range_m=6.0)],
+        tags,
+        channel_plan=single_channel(),
+        seed=streams.child_seed("scene"),
+    )
+    return scene, epcs
+
+
+def main() -> None:
+    scene, epcs = build_store(seed=103)
+    client = LLRPClient(SimReader(scene, seed=104))
+    client.connect()
+    tagwatch = Tagwatch(client, TagwatchConfig(phase2_duration_s=1.5))
+    monitor = TagwatchMonitor(window=30)
+    monitor.attach(tagwatch)
+
+    tagwatch.warm_up(27.0)
+
+    # Debounce: Phase I judges from one or two readings, so a single-cycle
+    # flag is weak evidence (the paper runs ~10% FPR at its operating
+    # point).  An item is PICKED only when targeted in two *consecutive*
+    # cycles after a quiet spell, and LEFT once a picked item has vanished
+    # from the scene for two consecutive cycles.
+    events: List[ShelfEvent] = []
+    quiet_cycles = {}  # epc value -> consecutive untargeted cycles
+    gone_cycles = {}  # epc value -> consecutive unseen cycles
+    ever_picked = set()  # items with an active PICKED episode
+    previous_targets = set()
+    while client.reader.time_s < 50.0:
+        result = tagwatch.run_cycle()
+        now = result.phase1_end_s
+        for value in result.target_epc_values & previous_targets:
+            if quiet_cycles.get(value, 99) >= 2 and value not in ever_picked:
+                events.append(
+                    ShelfEvent(now, f"{value:024x}"[:10] + "...", "PICKED")
+                )
+                ever_picked.add(value)
+        for value in set(result.assessments) | result.target_epc_values:
+            if value in result.target_epc_values:
+                if value in previous_targets:
+                    quiet_cycles[value] = 0
+            else:
+                quiet_cycles[value] = quiet_cycles.get(value, 0) + 1
+                if quiet_cycles[value] >= 3:
+                    ever_picked.discard(value)  # episode over (put back)
+        for value in list(ever_picked):
+            if value not in result.assessments:
+                gone_cycles[value] = gone_cycles.get(value, 0) + 1
+                if gone_cycles[value] == 2:
+                    events.append(
+                        ShelfEvent(now, f"{value:024x}"[:10] + "...", "LEFT")
+                    )
+                    ever_picked.discard(value)
+            else:
+                gone_cycles[value] = 0
+        previous_targets = set(result.target_epc_values)
+
+    print(
+        format_table(
+            ["time (s)", "item", "event"],
+            [[e.time_s, e.epc_hex, e.kind] for e in events],
+            precision=1,
+            title="Shelf events (truth: item A handled at 30 s and put "
+            "back; item B carried out from 37 s)",
+        )
+    )
+    snap = monitor.snapshot()
+    print(
+        f"\nfleet health: {snap.mean_targets:.1f} targets/cycle, "
+        f"{snap.fallback_fraction * 100:.0f}% fallback cycles, "
+        f"p90 scheduling overhead {snap.p90_overhead_ms:.1f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

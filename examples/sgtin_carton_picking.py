@@ -1,0 +1,124 @@
+"""Carton picking with real-world (SGTIN-96) EPCs.
+
+The paper deploys tags with *random* EPCs — the worst case for bitmask
+grouping, where the greedy set cover only modestly beats one-Select-per-tag.
+Production tags carry GS1 SGTIN-96 codes: every item of one SKU shares its
+leading ~58 bits, so when a forklift picks up a whole carton, one short
+bitmask covers every moving tag at once.
+
+This example builds a warehouse population from a few companies' SKUs,
+declares one carton (8 items of one SKU) as the moving targets, and compares
+the Phase II schedules the greedy and naive selectors produce — then runs
+both against the simulated reader.
+
+Run with::
+
+    python examples/sgtin_carton_picking.py
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core import PAPER_R420, TargetScheduler
+from repro.experiments.harness import irr_by_tag
+from repro.gen2 import Sgtin96, warehouse_population
+from repro.radio.constants import single_channel
+from repro.reader import SimReader
+from repro.util.rng import RngStream
+from repro.util.tables import format_table
+from repro.world import Antenna, Scene, Stationary, TagInstance
+
+
+def build_warehouse(seed: int):
+    """A shelf of 100 SGTIN-tagged items covered by one antenna."""
+    streams = RngStream(seed)
+    tags, lines = warehouse_population(
+        100, n_companies=3, skus_per_company=4, rng=streams.child("epcs")
+    )
+    placement = streams.child("placement")
+    instances = [
+        TagInstance(
+            epc=epc,
+            trajectory=Stationary(
+                (0.25 * (i % 20), 1.5 + 0.3 * (i // 20), 0.8)
+            ),
+            phase_offset_rad=float(placement.uniform(0, 2 * np.pi)),
+        )
+        for i, epc in enumerate(tags)
+    ]
+    scene = Scene(
+        [Antenna((2.5, -1.5, 1.8))],
+        instances,
+        channel_plan=single_channel(),
+        seed=streams.child_seed("scene"),
+    )
+    return scene, tags
+
+
+def pick_carton(tags):
+    """The largest single-SKU group: the carton the forklift grabs."""
+    by_sku = defaultdict(list)
+    for index, tag in enumerate(tags):
+        identity = Sgtin96.decode(tag)
+        by_sku[(identity.company_prefix, identity.item_reference)].append(index)
+    _, indices = max(by_sku.items(), key=lambda kv: len(kv[1]))
+    return indices[:8]
+
+
+def main() -> None:
+    scene, tags = build_warehouse(seed=71)
+    carton = pick_carton(tags)
+    target_values = {tags[i].value for i in carton}
+
+    rows = []
+    for method in ("greedy", "naive"):
+        scheduler = TargetScheduler(PAPER_R420, method=method, rng=1)
+        plan = scheduler.plan(tags, target_values, (0,), 5.0)
+        selection = plan.selection
+        # Execute the schedule against a fresh reader and measure.
+        fresh_scene, _ = build_warehouse(seed=71)
+        reader = SimReader(fresh_scene, seed=72)
+        t0 = reader.time_s
+        observations, _ = reader.execute_rospec(plan.rospec)
+        irr = irr_by_tag(observations, t0, reader.time_s)
+        target_irr = float(
+            np.mean([irr.get(v, 0.0) for v in target_values])
+        )
+        rows.append(
+            [
+                method,
+                len(selection.bitmasks),
+                str(selection.bitmasks[0]) if selection.bitmasks else "-",
+                selection.n_collateral,
+                selection.total_cost_s * 1e3,
+                target_irr,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "selector",
+                "masks",
+                "first mask",
+                "collateral",
+                "sweep (ms)",
+                "carton IRR (Hz)",
+            ],
+            rows,
+            precision=1,
+            title=(
+                "Picking one carton (8 items of one SKU) out of 100 "
+                "SGTIN-tagged items"
+            ),
+        )
+    )
+    greedy_irr, naive_irr = rows[0][-1], rows[1][-1]
+    print(
+        f"\nstructured EPCs let the set cover win {greedy_irr / naive_irr:.1f}x "
+        "over per-EPC Selects (vs ~1.1-1.3x with the paper's random EPCs)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Toy-train tracking: the paper's Fig 1 application, end to end.
+
+A tag rides a toy train around a circular track (r = 20 cm, 0.7 m/s) while
+stationary tags share the channel.  The differential-hologram tracker
+(Tagoram-style DAH) recovers the trajectory from RF phase readings; its
+accuracy collapses when channel contention starves the mobile tag of reads,
+and recovers when Tagwatch gives the mobile tag the channel back.
+
+Run with::
+
+    python examples/toy_train_tracking.py
+"""
+
+from repro.experiments import fig01_tracking
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    result = fig01_tracking.run(
+        stationary_counts=(0, 8, 14), duration_s=6.0, seed=31
+    )
+    print(fig01_tracking.format_report(result))
+
+    clean = result.case("read-all (1+0)")
+    crowded = result.case("read-all (1+14)")
+    adaptive = result.case("tagwatch (1+14)")
+    print()
+    print(
+        format_table(
+            ["observation", "value"],
+            [
+                [
+                    "accuracy lost to contention",
+                    f"{crowded.mean_error_cm / clean.mean_error_cm:.0f}x worse",
+                ],
+                [
+                    "rate restored by Tagwatch",
+                    f"{adaptive.mobile_irr_hz / crowded.mobile_irr_hz:.1f}x",
+                ],
+                [
+                    "accuracy restored by Tagwatch",
+                    f"{adaptive.mean_error_cm:.1f} cm "
+                    f"(vs {clean.mean_error_cm:.1f} cm with no companions)",
+                ],
+            ],
+            title="Fig 1 in one table",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""Warehouse sorting gate: the scenario that motivated the paper.
+
+Section 2.4's case study: a conveyor gate reads packages as they transit,
+but parked (already sorted) packages sitting in the reader's field hog the
+channel — one stuck package was read 90,000 times while conveyed packages
+got fewer than 5 reads each.
+
+This example builds the scene physically — a conveyor carrying packages
+through a two-antenna gate, with a wall of parked packages nearby — and
+shows what Tagwatch does to the conveyed packages' read counts, then prints
+the statistics of the synthetic 4-hour TrackPoint trace for comparison with
+the paper's numbers.
+
+Run with::
+
+    python examples/warehouse_sorting.py
+"""
+
+import numpy as np
+
+from repro.core import Tagwatch, TagwatchConfig
+from repro.experiments import fig03_trace
+from repro.gen2.epc import random_epc_population
+from repro.radio.constants import single_channel
+from repro.reader import LLRPClient, SimReader
+from repro.util.rng import RngStream
+from repro.util.tables import format_table
+from repro.world import Antenna, ConveyorPath, Scene, Stationary, TagInstance
+
+
+def build_gate(seed: int):
+    """A sorting gate: 2 antennas over a conveyor, 24 parked + 8 conveyed."""
+    streams = RngStream(seed)
+    epcs = random_epc_population(32, rng=streams.child("epcs"))
+    placement = streams.child("placement")
+    tags = []
+    # Conveyed packages enter every ~6 s and take 8 s to cross the gate.
+    for i in range(8):
+        tags.append(
+            TagInstance(
+                epc=epcs[i],
+                trajectory=ConveyorPath(
+                    start=(-4.0, 0.0, 0.6),
+                    end=(4.0, 0.0, 0.6),
+                    speed=1.0,
+                    enter_time=14.0 + 6.0 * i,
+                ),
+                phase_offset_rad=float(placement.uniform(0, 2 * np.pi)),
+            )
+        )
+    # Parked packages: sorted pallets sitting beside the gate.
+    for i in range(24):
+        tags.append(
+            TagInstance(
+                epc=epcs[8 + i],
+                trajectory=Stationary(
+                    (1.5 + 0.3 * (i % 8), 2.0 + 0.4 * (i // 8), 0.6)
+                ),
+                phase_offset_rad=float(placement.uniform(0, 2 * np.pi)),
+            )
+        )
+    # Gate antennas have a short range: packages are only readable while
+    # near the gate; the parked pallets sit just inside the field edge,
+    # like the paper's troublesome sorted packages.
+    scene = Scene(
+        [
+            Antenna((0.0, -1.0, 2.2), range_m=3.5),
+            Antenna((0.0, 1.0, 2.2), range_m=3.5),
+        ],
+        tags,
+        channel_plan=single_channel(),
+        seed=streams.child_seed("scene"),
+    )
+    return scene, epcs
+
+
+def transit_reads(observations_by_value, tags):
+    """Reads of each conveyed package during its own transit window."""
+    counts = []
+    for i in range(8):
+        trajectory = tags[i].trajectory
+        times = observations_by_value.get(tags[i].epc.value, [])
+        counts.append(
+            sum(
+                1
+                for t in times
+                if trajectory.enter_time <= t <= trajectory.exit_time
+            )
+        )
+    return counts
+
+
+def main() -> None:
+    duration = 70.0
+
+    # --- read-all gate ---------------------------------------------------
+    scene, epcs = build_gate(seed=3)
+    tags = scene.tags
+    reader = SimReader(scene, seed=4)
+    observations, _ = reader.run_duration(duration)
+    times_all = {}
+    for obs in observations:
+        times_all.setdefault(obs.epc.value, []).append(obs.time_s)
+    transit_all = transit_reads(times_all, tags)
+
+    # --- Tagwatch gate -----------------------------------------------------
+    scene, epcs = build_gate(seed=3)
+    tags = scene.tags
+    client = LLRPClient(SimReader(scene, seed=4))
+    client.connect()
+    tagwatch = Tagwatch(client, TagwatchConfig(phase2_duration_s=2.0))
+    times_tw = {}
+    tagwatch.subscribe(
+        lambda obs: times_tw.setdefault(obs.epc.value, []).append(obs.time_s)
+    )
+    tagwatch.warm_up(13.0)
+    while client.reader.time_s < duration:
+        tagwatch.run_cycle()
+    transit_tw = transit_reads(times_tw, tags)
+
+    rows = [
+        [f"package {i}", transit_all[i], transit_tw[i]]
+        for i in range(8)
+    ]
+    parked_all = np.mean([len(times_all.get(epcs[8 + i].value, [])) for i in range(24)])
+    parked_tw = np.mean([len(times_tw.get(epcs[8 + i].value, [])) for i in range(24)])
+    rows.append(["parked total (mean of 24)", parked_all, parked_tw])
+    print(
+        format_table(
+            ["tag", "reads (read-all)", "reads (Tagwatch)"],
+            rows,
+            precision=0,
+            title="Sorting gate: reads per package while transiting the gate",
+        )
+    )
+    gain = np.mean(transit_tw) / max(1.0, np.mean(transit_all))
+    print(f"\nconveyed packages read {gain:.1f}x more often under Tagwatch\n")
+
+    # --- the paper's 4-hour trace, statistically ------------------------
+    print(fig03_trace.format_report(fig03_trace.run(seed=13)))
+
+
+if __name__ == "__main__":
+    main()

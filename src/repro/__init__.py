@@ -1,0 +1,26 @@
+"""Tagwatch: rate-adaptive reading for COTS RFID systems (CoNEXT'17).
+
+A full reproduction of the paper's system and evaluation over a
+slot-accurate Gen2/RF simulation.  The public entry points most users want:
+
+>>> from repro import Tagwatch, TagwatchConfig
+>>> from repro.experiments.harness import build_lab
+
+Subpackages: :mod:`repro.gen2` (air protocol), :mod:`repro.radio`
+(channel), :mod:`repro.world` (scenes), :mod:`repro.reader` (R420 + LLRP),
+:mod:`repro.core` (the contribution), :mod:`repro.tracking` (DAH tracker),
+:mod:`repro.traces` (warehouse trace), :mod:`repro.experiments` (figures).
+"""
+
+from repro.core import Tagwatch, TagwatchConfig
+from repro.reader import LLRPClient, SimReader
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LLRPClient",
+    "SimReader",
+    "Tagwatch",
+    "TagwatchConfig",
+    "__version__",
+]

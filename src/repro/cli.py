@@ -1,0 +1,322 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``
+    List every reproducible figure with its driver module.
+``figure <id> [--scale smoke|paper]``
+    Run one figure's experiment and print the paper-style report.
+``demo [--tags N --mobile M --cycles K]``
+    Run a live Tagwatch deployment and print per-cycle decisions.
+``predict [--tags N --phase2 S]``
+    Print the analytic gain curve and break-even percentage (Fig 18's
+    back-of-envelope).
+``rospec [--targets N --population N]``
+    Plan a Phase II schedule for a random population and dump the ROSpec
+    as LTK-style XML (the paper's Fig 11).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core import TagwatchConfig
+from repro.core.analysis import breakeven_percent, predicted_gain
+from repro.core.cost import PAPER_R420
+from repro.core.scheduler import TargetScheduler
+from repro.experiments import (
+    fig01_tracking,
+    fig02_irr,
+    fig03_trace,
+    fig08_gmm,
+    fig12_roc,
+    fig13_sensitivity,
+    fig14_learning,
+    fig15_feasibility,
+    fig17_cost,
+    fig18_gain,
+)
+from repro.experiments.harness import build_lab
+from repro.gen2.epc import random_epc_population
+from repro.reader.llrp import rospec_to_xml
+from repro.util.tables import format_table
+
+#: Figure registry: id -> (description, smoke runner, paper-scale runner).
+FIGURES: Dict[str, tuple] = {
+    "fig1": (
+        "tracking accuracy vs stationary company",
+        lambda: fig01_tracking.format_report(
+            fig01_tracking.run(stationary_counts=(0, 14), duration_s=4.0)
+        ),
+        lambda: fig01_tracking.format_report(fig01_tracking.run()),
+    ),
+    "fig2": (
+        "IRR vs number of tags, model vs measured",
+        lambda: fig02_irr.format_report(
+            fig02_irr.run(tag_counts=(1, 5, 10, 20, 40), initial_qs=(4,), repeats=8)
+        ),
+        lambda: fig02_irr.format_report(fig02_irr.run()),
+    ),
+    "fig3": (
+        "TrackPoint warehouse trace statistics (also covers Fig 4)",
+        lambda: fig03_trace.format_report(fig03_trace.run()),
+        lambda: fig03_trace.format_report(fig03_trace.run()),
+    ),
+    "fig8": (
+        "phase multi-modality of a stationary tag",
+        lambda: fig08_gmm.format_report(fig08_gmm.run(duration_s=30.0)),
+        lambda: fig08_gmm.format_report(fig08_gmm.run()),
+    ),
+    "fig12": (
+        "motion-detector ROC",
+        lambda: fig12_roc.format_report(
+            fig12_roc.run(
+                n_stationary=10,
+                n_people=2,
+                monitor_duration_s=40.0,
+                mobile_duration_s=15.0,
+            )
+        ),
+        lambda: fig12_roc.format_report(fig12_roc.run()),
+    ),
+    "fig13": (
+        "detection sensitivity vs displacement",
+        lambda: fig13_sensitivity.format_report(
+            fig13_sensitivity.run(trials=8, settle_s=6.0)
+        ),
+        lambda: fig13_sensitivity.format_report(fig13_sensitivity.run()),
+    ),
+    "fig14": (
+        "immobility-model learning curve",
+        lambda: fig14_learning.format_report(fig14_learning.run(duration_s=20.0)),
+        lambda: fig14_learning.format_report(fig14_learning.run()),
+    ),
+    "fig15": (
+        "schedule feasibility, 2/40 targets",
+        lambda: fig15_feasibility.format_report(
+            fig15_feasibility.run(n_targets=2, duration_s=4.0)
+        ),
+        lambda: fig15_feasibility.format_report(
+            fig15_feasibility.run(n_targets=2)
+        ),
+    ),
+    "fig16": (
+        "schedule feasibility, 5/40 targets",
+        lambda: fig15_feasibility.format_report(
+            fig15_feasibility.run(n_targets=5, duration_s=4.0)
+        ),
+        lambda: fig15_feasibility.format_report(
+            fig15_feasibility.run(n_targets=5)
+        ),
+    ),
+    "fig17": (
+        "scheduling overhead CDF",
+        lambda: fig17_cost.format_report(
+            fig17_cost.run(n_tags=30, n_mobile=2, n_cycles=14, warmup_cycles=6,
+                           phase2_duration_s=0.6)
+        ),
+        lambda: fig17_cost.format_report(fig17_cost.run()),
+    ),
+    "fig18": (
+        "IRR gain vs percentage of mobile tags",
+        lambda: fig18_gain.format_report(
+            fig18_gain.run(
+                percents=(5.0, 20.0),
+                populations=(40,),
+                n_cycles=5,
+                warmup_cycles=1,
+                phase2_duration_s=1.0,
+            )
+        ),
+        lambda: fig18_gain.format_report(fig18_gain.run()),
+    ),
+}
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    """List every reproducible figure."""
+    rows = [[fig_id, description] for fig_id, (description, _, _) in FIGURES.items()]
+    print(format_table(["id", "figure"], rows, title="Reproducible figures"))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Run one figure's experiment and print its report."""
+    entry = FIGURES.get(args.id)
+    if entry is None:
+        print(f"unknown figure {args.id!r}; try: python -m repro figures",
+              file=sys.stderr)
+        return 2
+    _, smoke, paper = entry
+    print((smoke if args.scale == "smoke" else paper)())
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Run a live Tagwatch deployment and print cycle decisions."""
+    setup = build_lab(
+        n_tags=args.tags, n_mobile=args.mobile, seed=args.seed, partition=True
+    )
+    tagwatch = setup.tagwatch(TagwatchConfig(phase2_duration_s=args.phase2))
+    print(f"warming up ({args.warmup:.0f} s of read-all inventory)...")
+    tagwatch.warm_up(args.warmup)
+    rows = []
+    for result in tagwatch.run(args.cycles):
+        masks = (
+            ", ".join(str(b) for b in result.plan.selection.bitmasks)
+            if result.plan
+            else "-"
+        )
+        rows.append(
+            [
+                result.index,
+                result.n_tags_seen,
+                len(result.target_epc_values),
+                "fallback" if result.fallback else "selective",
+                masks[:48],
+                len(result.phase2_observations),
+            ]
+        )
+    print(
+        format_table(
+            ["cycle", "seen", "targets", "mode", "bitmasks", "phase2 reads"],
+            rows,
+            title=f"Tagwatch demo: {args.mobile} mobile of {args.tags} tags",
+        )
+    )
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    """Print the analytic gain curve and break-even point."""
+    rows = []
+    for percent in (2.0, 5.0, 10.0, 15.0, 20.0, 30.0):
+        rows.append(
+            [percent, predicted_gain(PAPER_R420, args.tags, percent, args.phase2)]
+        )
+    print(
+        format_table(
+            ["% mobile", "predicted naive gain"],
+            rows,
+            title=(
+                f"Analytic Fig 18 (n={args.tags}, Phase II {args.phase2:.0f}s); "
+                f"break-even at "
+                f"{breakeven_percent(PAPER_R420, args.tags, args.phase2):.1f}%"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_rospec(args: argparse.Namespace) -> int:
+    """Plan a Phase II schedule and dump its ROSpec XML."""
+    population = random_epc_population(args.population, rng=args.seed)
+    targets = {epc.value for epc in population[: args.targets]}
+    scheduler = TargetScheduler(PAPER_R420, rng=args.seed)
+    plan = scheduler.plan(population, targets, (0, 1, 2, 3), 5.0)
+    if plan.rospec is None:
+        print("nothing to schedule", file=sys.stderr)
+        return 1
+    print(
+        f"<!-- {len(plan.selection.bitmasks)} bitmask(s), "
+        f"{plan.selection.n_collateral} collateral tag(s), "
+        f"predicted sweep {plan.selection.total_cost_s * 1e3:.1f} ms -->"
+    )
+    print(rospec_to_xml(plan.rospec))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Run every figure driver and write one markdown reproduction report."""
+    from repro.experiments import report as report_module
+
+    only = args.only.split(",") if args.only else None
+    results = report_module.run(scale=args.scale, only=only)
+    document = report_module.to_markdown(results, args.scale)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        total = sum(r.wall_s for r in results)
+        print(
+            f"wrote {args.out}: {len(results)} section(s), "
+            f"{total:.0f} s total"
+        )
+    else:
+        print(document)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Tagwatch (CoNEXT'17) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="list reproducible figures")
+
+    p_figure = sub.add_parser("figure", help="run one figure's experiment")
+    p_figure.add_argument("id", help="figure id, e.g. fig18")
+    p_figure.add_argument(
+        "--scale", choices=("smoke", "paper"), default="smoke",
+        help="smoke: seconds; paper: the benchmark-scale run",
+    )
+
+    p_demo = sub.add_parser("demo", help="run a live Tagwatch deployment")
+    p_demo.add_argument("--tags", type=int, default=40)
+    p_demo.add_argument("--mobile", type=int, default=2)
+    p_demo.add_argument("--cycles", type=int, default=5)
+    p_demo.add_argument("--phase2", type=float, default=2.0)
+    p_demo.add_argument("--warmup", type=float, default=15.0)
+    p_demo.add_argument("--seed", type=int, default=7)
+
+    p_predict = sub.add_parser(
+        "predict", help="analytic gain curve from the cost model"
+    )
+    p_predict.add_argument("--tags", type=int, default=100)
+    p_predict.add_argument("--phase2", type=float, default=5.0)
+
+    p_rospec = sub.add_parser(
+        "rospec", help="plan a schedule and dump its ROSpec XML"
+    )
+    p_rospec.add_argument("--population", type=int, default=40)
+    p_rospec.add_argument("--targets", type=int, default=3)
+    p_rospec.add_argument("--seed", type=int, default=1)
+
+    p_reproduce = sub.add_parser(
+        "reproduce", help="run every figure and write one markdown report"
+    )
+    p_reproduce.add_argument(
+        "--scale", choices=("smoke", "paper"), default="smoke"
+    )
+    p_reproduce.add_argument(
+        "--out", default="", help="output path (default: stdout)"
+    )
+    p_reproduce.add_argument(
+        "--only", default="",
+        help="comma-separated figure ids (e.g. fig2,fig18)",
+    )
+    return parser
+
+
+COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "figures": cmd_figures,
+    "reproduce": cmd_reproduce,
+    "figure": cmd_figure,
+    "demo": cmd_demo,
+    "predict": cmd_predict,
+    "rospec": cmd_rospec,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""Candidate bitmask enumeration and the indexed coverage table (Fig 10).
+
+The search space of Section 5.2 is all ``S(mask, pointer, length)`` triples
+whose mask equals some target tag's EPC bits at (pointer, length) — at most
+``n' * L * (L+1) / 2`` candidates.  Two sound prunings keep the table small
+without changing what the greedy can pick:
+
+1. **Dominated singletons.**  A mask covering exactly one target plus k >= 1
+   non-targets has gain 1 at price C(1 + k); the target's full-EPC mask has
+   the same gain at the strictly lower price C(1).  The greedy would never
+   prefer the dominated mask, so only masks covering **two or more targets**
+   are enumerated, plus one full-EPC mask per target.
+2. **Identical coverage merge.**  Bitmasks with identical indicator bitmaps
+   are interchangeable (same gain, same price); one representative is kept —
+   exactly the merge step the paper describes for its indexed table.
+
+``max_mask_length`` bounds the enumerated mask lengths: with uniformly
+random EPCs, two targets share an l-bit window at a given pointer with
+probability 2^-l, so windows much longer than ~2 log2(n') almost never
+yield multi-target masks; the full-EPC fallbacks cover everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gen2.epc import EPC
+from repro.gen2.select import BitMask
+
+
+@dataclass(frozen=True)
+class CandidateRow:
+    """One row of the indexed table: a bitmask and its coverage bitmap."""
+
+    bitmask: BitMask
+    coverage: np.ndarray  # bool array over the current population
+
+    @property
+    def covered_count(self) -> int:
+        return int(self.coverage.sum())
+
+    def covered_indices(self) -> Tuple[int, ...]:
+        """Indices of the covered tags, ascending."""
+        return tuple(int(i) for i in np.flatnonzero(self.coverage))
+
+
+def _bit_matrix(epcs: Sequence[EPC]) -> np.ndarray:
+    """(n, L) uint8 matrix of EPC bits, MSB (Gen2 bit 0) in column 0."""
+    if not epcs:
+        return np.zeros((0, 0), dtype=np.uint8)
+    length = epcs[0].length
+    if any(e.length != length for e in epcs):
+        raise ValueError("all EPCs in a population must share one length")
+    rows = [
+        np.frombuffer(e.to_bits().encode("ascii"), dtype=np.uint8) - ord("0")
+        for e in epcs
+    ]
+    return np.vstack(rows)
+
+
+class IndexedBitmaskTable:
+    """The pre-built indexed table associating bitmasks with coverage.
+
+    Built over the *entire* current population (targets and non-targets),
+    then queried per cycle for the candidate rows relevant to a target set.
+    Rebuild (or call :meth:`update_population`) when tags come or go; the
+    per-cycle query itself is cheap.
+    """
+
+    def __init__(
+        self,
+        epcs: Sequence[EPC],
+        max_mask_length: int = 24,
+        include_dominated: bool = False,
+    ) -> None:
+        if max_mask_length < 1:
+            raise ValueError("max_mask_length must be >= 1")
+        self.epcs = list(epcs)
+        self.max_mask_length = max_mask_length
+        self.include_dominated = include_dominated
+        self._bits = _bit_matrix(self.epcs)
+        # Sliding-window integer values per mask length, computed lazily.
+        self._window_cache: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def population_size(self) -> int:
+        return len(self.epcs)
+
+    def update_population(self, epcs: Sequence[EPC]) -> bool:
+        """Replace the population; returns True if anything changed."""
+        if [e.value for e in epcs] == [e.value for e in self.epcs]:
+            return False
+        self.epcs = list(epcs)
+        self._bits = _bit_matrix(self.epcs)
+        self._window_cache.clear()
+        return True
+
+    def _window_values(self, length: int) -> np.ndarray:
+        """(n, L - length + 1) integers of all length-bit windows."""
+        cached = self._window_cache.get(length)
+        if cached is not None:
+            return cached
+        powers = (1 << np.arange(length - 1, -1, -1)).astype(np.int64)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            self._bits, length, axis=1
+        )
+        values = windows.astype(np.int64) @ powers
+        self._window_cache[length] = values
+        return values
+
+    # ------------------------------------------------------------------
+    def candidate_rows(
+        self, target_indices: Sequence[int]
+    ) -> List[CandidateRow]:
+        """Candidate table rows for this target set (merged, pruned)."""
+        n = self.population_size
+        targets = sorted(set(int(i) for i in target_indices))
+        if any(i < 0 or i >= n for i in targets):
+            raise IndexError("target index outside the population")
+        if not targets:
+            return []
+
+        rows: List[CandidateRow] = []
+        seen: Dict[bytes, int] = {}
+
+        def add_row(bitmask: BitMask, coverage: np.ndarray) -> None:
+            key = coverage.tobytes()
+            if key in seen:
+                return
+            seen[key] = len(rows)
+            rows.append(CandidateRow(bitmask, coverage))
+
+        # Full-EPC masks: one per target, always present (the naive
+        # baseline's rows, and the greedy's safe fallback).
+        epc_length = self.epcs[0].length
+        for t in targets:
+            coverage = np.zeros(n, dtype=bool)
+            coverage[t] = True
+            add_row(BitMask.full_epc(self.epcs[t]), coverage)
+
+        max_len = min(self.max_mask_length, epc_length)
+        target_arr = np.asarray(targets)
+        for length in range(1, max_len + 1):
+            values = self._window_values(length)
+            target_values = values[target_arr]  # (n_targets, n_pointers)
+            if self.include_dominated:
+                interesting = range(values.shape[1])
+            elif len(targets) < 2:
+                continue  # no window can cover two targets
+            else:
+                # Columns where at least two targets share a value: sort
+                # each column and look for equal neighbours (vectorised,
+                # instead of one np.unique call per pointer — the planning
+                # hot path behind the paper's <4 ms scheduling overhead).
+                sorted_vals = np.sort(target_values, axis=0)
+                has_dup = (np.diff(sorted_vals, axis=0) == 0).any(axis=0)
+                interesting = np.flatnonzero(has_dup)
+            for pointer in interesting:
+                column = values[:, pointer]
+                t_col = target_values[:, pointer]
+                uniques, counts = np.unique(t_col, return_counts=True)
+                if self.include_dominated:
+                    wanted = uniques
+                else:
+                    wanted = uniques[counts >= 2]
+                for value in wanted:
+                    coverage = column == value
+                    add_row(
+                        BitMask(int(value), int(pointer), length), coverage
+                    )
+        return rows
+
+    # ------------------------------------------------------------------
+    def coverage_of(self, bitmask: BitMask) -> np.ndarray:
+        """Coverage bitmap of an arbitrary bitmask over the population."""
+        return np.array(
+            [bitmask.covers(epc) for epc in self.epcs], dtype=bool
+        )
+
+
+def indicator_bitmap(
+    population_size: int, target_indices: Sequence[int]
+) -> np.ndarray:
+    """The input indicator bitmap V of the search algorithm (Fig 10b)."""
+    v = np.zeros(population_size, dtype=bool)
+    for i in target_indices:
+        if i < 0 or i >= population_size:
+            raise IndexError(f"target index {i} outside population")
+        v[i] = True
+    return v

@@ -1,0 +1,134 @@
+"""Tagwatch configuration, including the user's "concerned tags" file.
+
+Section 5 allows operators to pin tags that must always be scheduled
+("targets regardless of whether they are in motion") through a configuration
+file; :func:`load_concerned_epcs` reads the simple one-EPC-per-line format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import FrozenSet, Iterable, Optional, Tuple, Union
+
+from repro.core.cost import CostModel, PAPER_R420
+from repro.core.gmm import GmmParams
+from repro.gen2.epc import EPC
+
+
+@dataclass(frozen=True)
+class TagwatchConfig:
+    """All Tagwatch knobs, with the paper's Section 6 defaults."""
+
+    #: Fixed length of Phase II (the paper fixes 5 s; upper applications may
+    #: shorten it for lower state-transition latency).
+    phase2_duration_s: float = 5.0
+    #: Immobility-model hyper-parameters (alpha, K, xi, ...).
+    gmm: GmmParams = field(default_factory=GmmParams.for_phase)
+    #: Inventory-cost constants used to price candidate bitmasks.
+    cost_model: CostModel = PAPER_R420
+    #: Above this fraction of moving tags, fall back to reading everything
+    #: (Section 3, "Scope": adaptivity stops paying beyond ~20%).
+    fallback_fraction: float = 0.2
+    #: Longest enumerated mask (see repro.core.bitmask for the rationale).
+    max_mask_length: int = 24
+    #: EPC values the operator always wants scheduled.
+    concerned_epc_values: FrozenSet[int] = frozenset()
+    #: Aggregation of per-reading motion flags into a per-tag verdict.
+    vote_rule: str = "any"
+    #: Forget immobility models for tags unseen this long (Section 4.3).
+    expire_after_s: float = 60.0
+    #: Shard immobility models per channel (needed under frequency hopping).
+    key_by_channel: bool = True
+    #: Antennas Tagwatch drives; ``None`` means all of the reader's.
+    antenna_ids: Optional[Tuple[int, ...]] = None
+    #: Bitmask selection algorithm: "greedy" (the paper's set cover, with
+    #: its fall-back to naive) or "naive" (one full-EPC mask per target —
+    #: the comparison baseline of Fig 15/16/18).
+    selection_method: str = "greedy"
+    #: Optional adaptive Phase II sizing (the paper: "upper applications can
+    #: adjust the length of Phase II according to their requirements").
+    #: When set, each cycle's Phase II lasts long enough for roughly this
+    #: many reads per target (one per sweep), clamped to
+    #: [min_phase2_duration_s, phase2_duration_s].
+    phase2_reads_target: Optional[int] = None
+    min_phase2_duration_s: float = 0.5
+    #: Phase II LLRP realisation: "per-bitmask" (the paper's default — one
+    #: AISpec/round per mask) or "single" (all masks as C1G2Filters of one
+    #: AISpec: each sweep is one union round with one start-up cost).
+    aispec_mode: str = "per-bitmask"
+
+    def __post_init__(self) -> None:
+        if self.phase2_duration_s <= 0:
+            raise ValueError("Phase II duration must be positive")
+        if not 0.0 < self.fallback_fraction <= 1.0:
+            raise ValueError("fallback fraction must be in (0, 1]")
+        if self.vote_rule not in ("any", "majority"):
+            raise ValueError(f"unknown vote rule {self.vote_rule!r}")
+        if self.selection_method not in ("greedy", "naive"):
+            raise ValueError(
+                f"unknown selection method {self.selection_method!r}"
+            )
+        if self.aispec_mode not in ("per-bitmask", "single"):
+            raise ValueError(f"unknown AISpec mode {self.aispec_mode!r}")
+        if self.phase2_reads_target is not None and self.phase2_reads_target < 1:
+            raise ValueError("phase2_reads_target must be >= 1 when set")
+        if not 0 < self.min_phase2_duration_s <= self.phase2_duration_s:
+            raise ValueError(
+                "min_phase2_duration_s must be in (0, phase2_duration_s]"
+            )
+
+    def with_concerned(
+        self, epcs: Iterable[Union[EPC, int]]
+    ) -> "TagwatchConfig":
+        """A copy of this config with extra operator-pinned tags."""
+        values = set(self.concerned_epc_values)
+        for item in epcs:
+            values.add(item.value if isinstance(item, EPC) else int(item))
+        return TagwatchConfig(
+            phase2_duration_s=self.phase2_duration_s,
+            gmm=self.gmm,
+            cost_model=self.cost_model,
+            fallback_fraction=self.fallback_fraction,
+            max_mask_length=self.max_mask_length,
+            concerned_epc_values=frozenset(values),
+            vote_rule=self.vote_rule,
+            expire_after_s=self.expire_after_s,
+            key_by_channel=self.key_by_channel,
+            antenna_ids=self.antenna_ids,
+            selection_method=self.selection_method,
+            phase2_reads_target=self.phase2_reads_target,
+            min_phase2_duration_s=self.min_phase2_duration_s,
+            aispec_mode=self.aispec_mode,
+        )
+
+
+def load_concerned_epcs(path: Union[str, Path]) -> FrozenSet[int]:
+    """Read the concerned-tags configuration file.
+
+    Format: one EPC per line, hex (optionally ``0x``-prefixed) or binary
+    with a ``0b`` prefix; blank lines and ``#`` comments are ignored.
+    """
+    values = set()
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            if line.startswith("0b"):
+                epc = EPC.from_bits(line[2:])
+            else:
+                epc = EPC.from_hex(line)
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: bad EPC {line!r}") from exc
+        values.add(epc.value)
+    return frozenset(values)
+
+
+def save_concerned_epcs(
+    path: Union[str, Path], epcs: Iterable[EPC]
+) -> None:
+    """Write a concerned-tags file (inverse of :func:`load_concerned_epcs`)."""
+    lines = [epc.to_hex() for epc in epcs]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

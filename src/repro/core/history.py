@@ -1,0 +1,114 @@
+"""Reading history database.
+
+Every reading from either phase is delivered to upper applications *and*
+recorded here (Fig 5/6: "all readings should be delivered to upper
+applications and contribute to the history database").  The history also
+computes the evaluation's central metric, the Individual Reading Rate (IRR):
+readings of one tag per second over an interval.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.radio.measurement import TagObservation
+
+
+@dataclass(frozen=True)
+class IrrSample:
+    """IRR of one tag over one measurement interval."""
+
+    epc_value: int
+    n_reads: int
+    interval_s: float
+
+    @property
+    def irr_hz(self) -> float:
+        if self.interval_s <= 0:
+            raise ValueError("interval must be positive")
+        return self.n_reads / self.interval_s
+
+
+class ReadingHistory:
+    """Append-only store of observations, indexed by tag."""
+
+    def __init__(self, max_per_tag: Optional[int] = None) -> None:
+        if max_per_tag is not None and max_per_tag < 1:
+            raise ValueError("max_per_tag must be positive when set")
+        self.max_per_tag = max_per_tag
+        self._by_tag: Dict[int, List[TagObservation]] = defaultdict(list)
+        self.total_reads = 0
+
+    # ------------------------------------------------------------------
+    def add(self, obs: TagObservation) -> None:
+        """Record one observation."""
+        bucket = self._by_tag[obs.epc.value]
+        bucket.append(obs)
+        self.total_reads += 1
+        if self.max_per_tag is not None and len(bucket) > self.max_per_tag:
+            del bucket[: len(bucket) - self.max_per_tag]
+
+    def add_all(self, observations: Iterable[TagObservation]) -> int:
+        """Record several observations; returns how many."""
+        count = 0
+        for obs in observations:
+            self.add(obs)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def epc_values(self) -> List[int]:
+        """All tag identities seen so far, sorted."""
+        return sorted(self._by_tag)
+
+    def observations(self, epc_value: int) -> List[TagObservation]:
+        """All stored observations of one tag."""
+        return list(self._by_tag.get(epc_value, ()))
+
+    def count(self, epc_value: int) -> int:
+        """Total readings stored for one tag."""
+        return len(self._by_tag.get(epc_value, ()))
+
+    def counts(self) -> Dict[int, int]:
+        """Readings per tag, as a dict."""
+        return {epc: len(obs) for epc, obs in self._by_tag.items()}
+
+    def last_seen(self, epc_value: int) -> Optional[float]:
+        """Timestamp of the tag's latest reading, or None."""
+        bucket = self._by_tag.get(epc_value)
+        return bucket[-1].time_s if bucket else None
+
+    # ------------------------------------------------------------------
+    def reads_in_window(
+        self, epc_value: int, t0: float, t1: float
+    ) -> List[TagObservation]:
+        """Observations of one tag inside [t0, t1)."""
+        if t1 <= t0:
+            raise ValueError("window must have positive width")
+        return [
+            obs
+            for obs in self._by_tag.get(epc_value, ())
+            if t0 <= obs.time_s < t1
+        ]
+
+    def irr(self, epc_value: int, t0: float, t1: float) -> IrrSample:
+        """IRR of one tag over [t0, t1)."""
+        reads = self.reads_in_window(epc_value, t0, t1)
+        return IrrSample(
+            epc_value=epc_value, n_reads=len(reads), interval_s=t1 - t0
+        )
+
+    def irr_table(
+        self, epc_values: Sequence[int], t0: float, t1: float
+    ) -> Dict[int, float]:
+        """IRR (Hz) for several tags over one interval."""
+        return {
+            epc: self.irr(epc, t0, t1).irr_hz for epc in epc_values
+        }
+
+    def clear(self) -> None:
+        """Drop everything (a fresh deployment)."""
+        self._by_tag.clear()
+        self.total_reads = 0

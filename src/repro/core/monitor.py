@@ -1,0 +1,123 @@
+"""Runtime monitoring for a live Tagwatch deployment.
+
+Aggregates per-cycle results into the operational statistics a deployment
+dashboard would plot: rolling IRRs, target churn, fallback rate, scheduling
+overheads, and coverage efficiency.  Purely observational — subscribing a
+monitor never alters scheduling decisions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.core.tagwatch import CycleResult
+from repro.util.stats import percentile
+
+
+@dataclass(frozen=True)
+class MonitorSnapshot:
+    """One aggregated view over the monitor's window of cycles."""
+
+    n_cycles: int
+    fallback_fraction: float
+    mean_targets: float
+    target_churn: float  # mean |targets_k ^ targets_{k-1}| per cycle
+    mean_cycle_duration_s: float
+    p50_overhead_ms: float
+    p90_overhead_ms: float
+    mean_collateral: float
+    mean_phase2_reads: float
+
+
+class TagwatchMonitor:
+    """Rolling-window statistics over consecutive cycle results.
+
+    >>> monitor = TagwatchMonitor(window=20)
+    >>> for _ in range(30):
+    ...     monitor.record(tagwatch.run_cycle())
+    >>> monitor.snapshot().fallback_fraction
+    """
+
+    def __init__(self, window: int = 50) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._cycles: Deque[CycleResult] = deque(maxlen=window)
+        self._previous_targets: Optional[Set[int]] = None
+        self._churns: Deque[int] = deque(maxlen=window)
+        self.total_cycles = 0
+
+    # ------------------------------------------------------------------
+    def record(self, result: CycleResult) -> None:
+        """Fold one cycle into the window."""
+        self._cycles.append(result)
+        self.total_cycles += 1
+        if self._previous_targets is not None:
+            churn = len(
+                result.target_epc_values ^ self._previous_targets
+            )
+            self._churns.append(churn)
+        self._previous_targets = set(result.target_epc_values)
+
+    def attach(self, tagwatch) -> None:
+        """Wrap a Tagwatch instance so every run_cycle() is recorded."""
+        original = tagwatch.run_cycle
+
+        def wrapped():
+            """Run one cycle and record it in the monitor."""
+            result = original()
+            self.record(result)
+            return result
+
+        tagwatch.run_cycle = wrapped
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MonitorSnapshot:
+        """Aggregate the current window; raises when nothing recorded yet."""
+        if not self._cycles:
+            raise ValueError("no cycles recorded")
+        cycles = list(self._cycles)
+        overheads_ms = [
+            (c.assessment_wall_s + c.scheduling_wall_s) * 1e3 for c in cycles
+        ]
+        collaterals = [
+            c.plan.selection.n_collateral if c.plan else 0 for c in cycles
+        ]
+        return MonitorSnapshot(
+            n_cycles=len(cycles),
+            fallback_fraction=float(
+                np.mean([c.fallback for c in cycles])
+            ),
+            mean_targets=float(
+                np.mean([len(c.target_epc_values) for c in cycles])
+            ),
+            target_churn=float(np.mean(self._churns)) if self._churns else 0.0,
+            mean_cycle_duration_s=float(
+                np.mean([c.cycle_duration_s for c in cycles])
+            ),
+            p50_overhead_ms=percentile(overheads_ms, 50),
+            p90_overhead_ms=percentile(overheads_ms, 90),
+            mean_collateral=float(np.mean(collaterals)),
+            mean_phase2_reads=float(
+                np.mean([len(c.phase2_observations) for c in cycles])
+            ),
+        )
+
+    def irr_by_tag(self) -> Dict[int, float]:
+        """Per-tag IRR over the window (reads in window / window span)."""
+        if not self._cycles:
+            raise ValueError("no cycles recorded")
+        t0 = self._cycles[0].phase1_start_s
+        t1 = self._cycles[-1].phase2_end_s
+        counts: Dict[int, int] = {}
+        for cycle in self._cycles:
+            for obs in cycle.phase1_observations:
+                counts[obs.epc.value] = counts.get(obs.epc.value, 0) + 1
+            for obs in cycle.phase2_observations:
+                counts[obs.epc.value] = counts.get(obs.epc.value, 0) + 1
+        span = max(t1 - t0, 1e-9)
+        return {epc: n / span for epc, n in counts.items()}

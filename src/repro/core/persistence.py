@@ -1,0 +1,128 @@
+"""Persisting learned immobility models across deployment restarts.
+
+The motion assessor needs ~55 readings per (tag, antenna, channel) shard
+before a tag's immobility is trusted — minutes of air time on a large
+population.  A deployment that restarts (upgrade, power cycle) should not
+pay that again: this module serialises the assessor's mixture stacks to a
+JSON document and restores them, mirroring how production middleware
+checkpoints its state.
+
+Only *learning* state is saved (modes, weights, match counts); transient
+per-cycle votes are deliberately dropped — a restart always begins with a
+fresh Phase I.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.gmm import GaussianMixtureStack, GaussianMode, GmmParams
+from repro.core.motion import MotionAssessor
+
+PathLike = Union[str, Path]
+
+#: Format marker so future layout changes can be detected.
+STATE_VERSION = 1
+
+
+def _mode_to_dict(mode: GaussianMode) -> dict:
+    return {
+        "mean": mode.mean,
+        "std": mode.std,
+        "weight": mode.weight,
+        "n_matches": mode.n_matches,
+        "best_run": mode.best_run,
+    }
+
+
+def _mode_from_dict(record: dict) -> GaussianMode:
+    return GaussianMode(
+        mean=float(record["mean"]),
+        std=float(record["std"]),
+        weight=float(record["weight"]),
+        n_matches=int(record["n_matches"]),
+        current_run=0,  # runs are contiguous; a restart breaks them
+        best_run=int(record["best_run"]),
+    )
+
+
+def _params_to_dict(params: GmmParams) -> dict:
+    return {
+        "max_modes": params.max_modes,
+        "learning_rate": params.learning_rate,
+        "match_threshold": params.match_threshold,
+        "initial_std": params.initial_std,
+        "initial_weight": params.initial_weight,
+        "min_std": params.min_std,
+        "reliable_weight": params.reliable_weight,
+        "reliable_std": params.reliable_std,
+        "reliable_run": params.reliable_run,
+        "max_update_step": params.max_update_step,
+    }
+
+
+def assessor_state(assessor: MotionAssessor) -> dict:
+    """The assessor's learning state as a JSON-serialisable dict."""
+    shards = []
+    for (epc_value, antenna, channel), stack in assessor._stacks.items():
+        shards.append(
+            {
+                "epc": f"{epc_value:x}",
+                "antenna": antenna,
+                "channel": channel,
+                "n_updates": stack.n_updates,
+                "modes": [_mode_to_dict(m) for m in stack.modes],
+            }
+        )
+    return {
+        "version": STATE_VERSION,
+        "params": _params_to_dict(assessor.params),
+        "vote_rule": assessor.vote_rule,
+        "key_by_channel": assessor.key_by_channel,
+        "expire_after_s": assessor.expire_after_s,
+        "last_seen": {
+            f"{epc:x}": t for epc, t in assessor._last_seen.items()
+        },
+        "shards": shards,
+    }
+
+
+def restore_assessor(state: dict) -> MotionAssessor:
+    """Rebuild a motion assessor from :func:`assessor_state` output."""
+    if state.get("version") != STATE_VERSION:
+        raise ValueError(
+            f"unsupported assessor-state version {state.get('version')!r}"
+        )
+    params = GmmParams(**state["params"])
+    assessor = MotionAssessor(
+        params=params,
+        vote_rule=state["vote_rule"],
+        expire_after_s=float(state["expire_after_s"]),
+        key_by_channel=bool(state["key_by_channel"]),
+    )
+    for shard in state["shards"]:
+        stack = GaussianMixtureStack(params, circular=True)
+        stack.n_updates = int(shard["n_updates"])
+        stack.modes = [_mode_from_dict(m) for m in shard["modes"]]
+        key = (int(shard["epc"], 16), int(shard["antenna"]), int(shard["channel"]))
+        assessor._stacks[key] = stack
+    assessor._last_seen = {
+        int(epc, 16): float(t) for epc, t in state["last_seen"].items()
+    }
+    return assessor
+
+
+def save_assessor(path: PathLike, assessor: MotionAssessor) -> None:
+    """Write the assessor's learning state to a JSON file."""
+    Path(path).write_text(
+        json.dumps(assessor_state(assessor)), encoding="utf-8"
+    )
+
+
+def load_assessor(path: PathLike) -> MotionAssessor:
+    """Read an assessor back from :func:`save_assessor` output."""
+    return restore_assessor(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )

@@ -1,0 +1,178 @@
+"""Cost-weighted set cover for bitmask selection (Section 5.3).
+
+Implements the paper's greedy search verbatim: at each iteration pick the
+candidate bitmask with the highest *relative gain*
+
+    R(S_i) = |V_i & V| / C(|V_i|)               (Eqn 13)
+
+where V is the indicator bitmap of still-uncovered targets, V_i the
+candidate's coverage bitmap over the whole population, and C the inventory
+cost model.  Iteration stops when V is empty.  The result is compared with
+the naive plan (one full-EPC bitmask per target); if the greedy plan is not
+cheaper, the naive plan is returned — the paper's "adopt the worst option"
+rule, which also bounds the approximation.
+
+An exact exponential solver is provided for small instances; the tests use
+it to bound the greedy's optimality gap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bitmask import CandidateRow, indicator_bitmap
+from repro.core.cost import CostModel
+from repro.gen2.epc import EPC
+from repro.gen2.select import BitMask
+from repro.util.rng import SeedLike, make_rng
+
+
+@dataclass
+class CoverSelection:
+    """A chosen set of bitmasks plus its predicted cost and coverage."""
+
+    bitmasks: List[BitMask]
+    covered_counts: List[int]  # |V_i| per chosen bitmask
+    total_cost_s: float
+    n_targets: int
+    n_collateral: int  # non-target tags swept along
+    method: str = "greedy"
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.bitmasks)
+
+
+def naive_selection(
+    target_epcs: Sequence[EPC], cost_model: CostModel
+) -> CoverSelection:
+    """The naive baseline: each target's full EPC as its own bitmask."""
+    bitmasks = [BitMask.full_epc(epc) for epc in target_epcs]
+    counts = [1] * len(bitmasks)
+    return CoverSelection(
+        bitmasks=bitmasks,
+        covered_counts=counts,
+        total_cost_s=cost_model.sweep_cost(counts),
+        n_targets=len(bitmasks),
+        n_collateral=0,
+        method="naive",
+    )
+
+
+def greedy_cover(
+    candidates: Sequence[CandidateRow],
+    target_indices: Sequence[int],
+    population_size: int,
+    cost_model: CostModel,
+    rng: SeedLike = None,
+) -> CoverSelection:
+    """The paper's greedy relative-gain search (Steps 1-4 of Section 5.3).
+
+    Raises ``ValueError`` if some target is not covered by any candidate
+    (cannot happen when the table includes full-EPC rows).
+    """
+    gen = make_rng(rng)
+    v = indicator_bitmap(population_size, target_indices)
+    n_targets = int(v.sum())
+    if n_targets == 0:
+        return CoverSelection([], [], 0.0, 0, 0, method="greedy")
+
+    coverages = [row.coverage for row in candidates]
+    prices = np.array(
+        [cost_model.inventory_cost(row.covered_count) for row in candidates]
+    )
+    chosen: List[int] = []
+    union = np.zeros(population_size, dtype=bool)
+
+    while v.any():
+        gains = np.array(
+            [int((cov & v).sum()) for cov in coverages], dtype=float
+        )
+        if not gains.any():
+            raise ValueError("targets remain that no candidate covers")
+        ratios = gains / prices
+        best = float(ratios.max())
+        # Resolve draws by random selection, as the paper specifies.
+        tied = np.flatnonzero(np.isclose(ratios, best))
+        pick = int(gen.choice(tied))
+        chosen.append(pick)
+        union |= coverages[pick]
+        v &= ~coverages[pick]
+
+    counts = [candidates[i].covered_count for i in chosen]
+    targets_mask = indicator_bitmap(population_size, target_indices)
+    collateral = int((union & ~targets_mask).sum())
+    return CoverSelection(
+        bitmasks=[candidates[i].bitmask for i in chosen],
+        covered_counts=counts,
+        total_cost_s=cost_model.sweep_cost(counts),
+        n_targets=n_targets,
+        n_collateral=collateral,
+        method="greedy",
+    )
+
+
+def select_bitmasks(
+    candidates: Sequence[CandidateRow],
+    target_indices: Sequence[int],
+    target_epcs: Sequence[EPC],
+    population_size: int,
+    cost_model: CostModel,
+    rng: SeedLike = None,
+) -> CoverSelection:
+    """Greedy search with the paper's fall-back to the naive worst case."""
+    greedy = greedy_cover(
+        candidates, target_indices, population_size, cost_model, rng
+    )
+    naive = naive_selection(target_epcs, cost_model)
+    return greedy if greedy.total_cost_s < naive.total_cost_s else naive
+
+
+def exact_cover(
+    candidates: Sequence[CandidateRow],
+    target_indices: Sequence[int],
+    population_size: int,
+    cost_model: CostModel,
+    max_subset_size: Optional[int] = None,
+) -> CoverSelection:
+    """Optimal selection by exhaustive search (small instances only).
+
+    Used by tests to measure the greedy's gap; complexity is exponential in
+    the candidate count, so callers should keep it below ~20 rows.
+    """
+    if len(candidates) > 18:
+        raise ValueError(
+            f"exact solver limited to 18 candidates, got {len(candidates)}"
+        )
+    v = indicator_bitmap(population_size, target_indices)
+    n_targets = int(v.sum())
+    best: Optional[CoverSelection] = None
+    limit = max_subset_size or len(candidates)
+    # All subset sizes must be enumerated: a larger selection of cheap rows
+    # can undercut a smaller selection of expensive ones.
+    for size in range(0 if n_targets == 0 else 1, limit + 1):
+        for combo in itertools.combinations(range(len(candidates)), size):
+            union = np.zeros(population_size, dtype=bool)
+            for i in combo:
+                union |= candidates[i].coverage
+            if not (v & ~union).any():
+                counts = [candidates[i].covered_count for i in combo]
+                cost = cost_model.sweep_cost(counts)
+                if best is None or cost < best.total_cost_s:
+                    best = CoverSelection(
+                        bitmasks=[candidates[i].bitmask for i in combo],
+                        covered_counts=counts,
+                        total_cost_s=cost,
+                        n_targets=n_targets,
+                        n_collateral=int((union & ~v).sum()),
+                        method="exact",
+                    )
+    if best is None:
+        if n_targets == 0:
+            return CoverSelection([], [], 0.0, 0, 0, method="exact")
+        raise ValueError("no feasible cover exists")
+    return best

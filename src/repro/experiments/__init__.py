@@ -1,0 +1,38 @@
+"""Experiment drivers: one module per paper figure.
+
+Each module exposes ``run(...) -> <Result>`` plus ``format_report(result)``;
+benchmarks, tests and examples share these drivers (benchmarks at paper
+scale, tests at smoke scale).
+"""
+
+from repro.experiments import (
+    ablations,
+    fig01_tracking,
+    fig02_irr,
+    fig03_trace,
+    fig08_gmm,
+    fig12_roc,
+    fig13_sensitivity,
+    fig14_learning,
+    fig15_feasibility,
+    fig17_cost,
+    fig18_gain,
+    latency,
+    report,
+)
+
+__all__ = [
+    "ablations",
+    "fig01_tracking",
+    "fig02_irr",
+    "fig03_trace",
+    "fig08_gmm",
+    "fig12_roc",
+    "fig13_sensitivity",
+    "fig14_learning",
+    "fig15_feasibility",
+    "fig17_cost",
+    "fig18_gain",
+    "latency",
+    "report",
+]

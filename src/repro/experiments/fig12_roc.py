@@ -1,0 +1,228 @@
+"""Fig 12 / Section 7.1: ROC of the four motion detectors.
+
+Negatives (false-positive material) come from stationary tags in an office
+with people walking around — ambient multipath is what trips naive
+detectors.  Positives come from a tag riding a circular track.  Each
+detector emits a continuous motion score per reading; sweeping a threshold
+over the pooled scores yields the ROC, exactly like sweeping the paper's
+detection threshold xi.
+
+Paper findings to reproduce: Phase-MoG reaches >=0.95 TPR at <=0.1 FPR;
+phase beats RSS; MoG beats differencing at controlled FPR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.detectors import UNSCORED, make_scorer
+
+#: Scores are capped here so that "no reliable model" (infinite evidence)
+#: still participates in the threshold sweep — inf > inf is False, which
+#: would otherwise make unscoreable readings invisible to the ROC.
+SCORE_CAP = 1e3
+from repro.experiments.harness import build_lab
+from repro.radio.measurement import TagObservation
+from repro.util.tables import format_table
+
+DETECTORS = (
+    ("phase", "mog"),
+    ("phase", "differencing"),
+    ("rss", "mog"),
+    ("rss", "differencing"),
+)
+
+
+@dataclass
+class RocCurve:
+    detector: str  # e.g. "Phase-MoG"
+    fpr: np.ndarray
+    tpr: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        order = np.argsort(self.fpr)
+        return float(np.trapezoid(self.tpr[order], self.fpr[order]))
+
+    def tpr_at_fpr(self, fpr_limit: float) -> float:
+        """Best TPR achievable at or under an FPR budget."""
+        mask = self.fpr <= fpr_limit
+        if not mask.any():
+            return 0.0
+        return float(self.tpr[mask].max())
+
+
+@dataclass
+class Fig12Result:
+    curves: Dict[str, RocCurve]
+    n_positive_scores: int
+    n_negative_scores: int
+
+
+def _score_stream(
+    observations_by_shard: Dict[tuple, List[TagObservation]],
+    signal: str,
+    kind: str,
+    warmup_fraction: float,
+) -> List[float]:
+    """Run one scorer per shard stream; keep post-warmup scores.
+
+    A shard is one (tag, antenna, channel) stream — phase is only
+    comparable within a shard (each antenna/channel pair has its own LO
+    reference), exactly why the motion assessor keys its models this way.
+    """
+    scores: List[float] = []
+    for stream in observations_by_shard.values():
+        scorer = make_scorer(kind, signal)
+        cut = int(len(stream) * warmup_fraction)
+        for i, obs in enumerate(stream):
+            if kind == "fusion":
+                value = (obs.phase_rad, obs.rss_dbm)
+            else:
+                value = obs.phase_rad if signal == "phase" else obs.rss_dbm
+            score = scorer.score(value)
+            # UNSCORED (infinite) means "no reliable immobility model yet"
+            # — maximal motion evidence, kept as such; the warmup cut keeps
+            # honest learning transients out of the negative pool.
+            if i >= cut:
+                scores.append(min(score, SCORE_CAP))
+    return scores
+
+
+def _group_by_shard(
+    observations: Sequence[TagObservation],
+) -> Dict[tuple, List[TagObservation]]:
+    by_shard: Dict[tuple, List[TagObservation]] = {}
+    for obs in observations:
+        key = (obs.epc.value, obs.antenna_index, obs.channel_index)
+        by_shard.setdefault(key, []).append(obs)
+    return by_shard
+
+
+def _roc(
+    negatives: Sequence[float], positives: Sequence[float]
+) -> RocCurve:
+    neg = np.asarray(negatives)
+    pos = np.asarray(positives)
+    thresholds = np.unique(np.concatenate([neg, pos]))
+    # Descending thresholds: strictest first.
+    fprs, tprs = [1.0], [1.0]
+    for threshold in thresholds[::-1]:
+        fprs.append(float((neg > threshold).mean()))
+        tprs.append(float((pos > threshold).mean()))
+    fprs.append(0.0)
+    tprs.append(0.0)
+    return RocCurve(detector="", fpr=np.array(fprs), tpr=np.array(tprs))
+
+
+def run(
+    n_stationary: int = 30,
+    n_people: int = 3,
+    monitor_duration_s: float = 120.0,
+    mobile_duration_s: float = 40.0,
+    warmup_fraction: float = 0.5,
+    seed: int = 11,
+    include_fusion: bool = False,
+) -> Fig12Result:
+    """Collect negative and positive streams, score, and build ROCs.
+
+    The paper monitored 100 stationary tags for 48 h with ~10 people; this
+    driver scales the population and duration but preserves the structure
+    (dynamic multipath over stationary tags vs. a track-riding tag).
+    """
+    # ---- negatives: stationary office ---------------------------------
+    office = build_lab(
+        n_tags=n_stationary,
+        n_mobile=0,
+        seed=seed,
+        n_antennas=4,
+        n_people=n_people,
+        people_duration_s=monitor_duration_s + 10.0,
+    )
+    negative_obs, _ = office.reader.run_duration(monitor_duration_s)
+    negatives_by_shard = _group_by_shard(negative_obs)
+
+    # ---- positives: a tag on a circular track --------------------------
+    mobile = build_lab(
+        n_tags=1,
+        n_mobile=1,
+        seed=seed + 1,
+        n_antennas=4,
+        turntable_period_s=1.8,  # ~0.7 m/s on a 20 cm radius, as the paper
+        # Within a few metres of an antenna, as the paper's rig: RSS only
+        # responds to displacement at close range (0.5 dB quantisation).
+        turntable_center=(3.5, 3.5, 0.8),
+    )
+    positive_obs, _ = mobile.reader.run_duration(mobile_duration_s)
+    positives_by_shard = _group_by_shard(positive_obs)
+
+    detectors = list(DETECTORS)
+    if include_fusion:
+        # Extension beyond the paper: phase+RSS fusion (max of MoG scores).
+        detectors.append(("fused", "fusion"))
+    curves: Dict[str, RocCurve] = {}
+    n_pos = n_neg = 0
+    for signal, kind in detectors:
+        if kind == "fusion":
+            name = "Fusion (phase+RSS MoG)"
+        else:
+            name = f"{signal.capitalize()}-{'MoG' if kind == 'mog' else 'differencing'}"
+        neg_scores = _score_stream(
+            negatives_by_shard, signal, kind, warmup_fraction
+        )
+        pos_scores = _score_stream(
+            positives_by_shard, signal, kind, warmup_fraction
+        )
+        curve = _roc(neg_scores, pos_scores)
+        curve.detector = name
+        curves[name] = curve
+        n_pos = len(pos_scores)
+        n_neg = len(neg_scores)
+    return Fig12Result(
+        curves=curves, n_positive_scores=n_pos, n_negative_scores=n_neg
+    )
+
+
+def format_report(result: Fig12Result) -> str:
+    """Render the paper-style table for this figure."""
+    headers = ["detector", "AUC", "TPR@FPR=0.1", "TPR@FPR=0.2"]
+    rows = []
+    for name, curve in result.curves.items():
+        rows.append(
+            [name, curve.auc, curve.tpr_at_fpr(0.1), curve.tpr_at_fpr(0.2)]
+        )
+    title = (
+        "Fig 12 — detector ROC (paper: Phase-MoG >=0.95 TPR @ <=0.1 FPR; "
+        "Phase-MoG/diff >=0.99 @ 0.2; RSS-MoG 0.53, RSS-diff 0.12 @ 0.2)"
+    )
+    return format_table(headers, rows, precision=3, title=title)
+
+
+def format_plot(result: Fig12Result) -> str:
+    """Terminal rendering of the ROC curves."""
+    from repro.util.plots import ascii_plot
+
+    series = {}
+    for name, curve in result.curves.items():
+        order = np.argsort(curve.fpr)
+        series[name] = (
+            list(curve.fpr[order]), list(curve.tpr[order])
+        )
+    return ascii_plot(
+        series, x_label="FPR", y_label="TPR", title="Fig 12 (shape)",
+        height=14,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    """Run at full scale and print report and plot."""
+    result = run()
+    print(format_report(result))
+    print(format_plot(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

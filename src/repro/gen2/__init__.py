@@ -1,0 +1,77 @@
+"""EPC Gen2 air-protocol substrate.
+
+Implements the link-layer pieces Tagwatch relies on:
+
+- :mod:`repro.gen2.epc` — EPC words, memory banks, random EPC populations;
+- :mod:`repro.gen2.timing` — slot/command durations derived from link
+  parameters (the source of the paper's tau_0 / tau_bar constants);
+- :mod:`repro.gen2.commands` — Select / Query / QueryAdjust / QueryRep / ACK;
+- :mod:`repro.gen2.select` — bitmask matching over tag memory;
+- :mod:`repro.gen2.tag` — tag-side protocol state machine;
+- :mod:`repro.gen2.aloha` — FSA, ideal DFSA and Q-adaptive frame control;
+- :mod:`repro.gen2.inventory` — slot-accurate inventory-round engine.
+"""
+
+from repro.gen2.aloha import FixedQ, IdealDFSA, QAdaptive
+from repro.gen2.commands import (
+    Ack,
+    Query,
+    QueryAdjust,
+    QueryRep,
+    Select,
+    SelectAction,
+    SelectTarget,
+)
+from repro.gen2.epc import EPC, MemoryBank, random_epc_population
+from repro.gen2.inventory import (
+    InventoryEngine,
+    InventoryLog,
+    SlotOutcome,
+    TagRead,
+)
+from repro.gen2.select import BitMask, apply_selects, matches
+from repro.gen2.session import (
+    Session,
+    SessionedInventory,
+    SessionFlagStore,
+)
+from repro.gen2.sgtin import (
+    ProductLine,
+    Sgtin96,
+    is_sgtin96,
+    warehouse_population,
+)
+from repro.gen2.tag import TagProtocolState
+from repro.gen2.timing import LinkTiming
+
+__all__ = [
+    "Ack",
+    "BitMask",
+    "EPC",
+    "FixedQ",
+    "IdealDFSA",
+    "InventoryEngine",
+    "InventoryLog",
+    "LinkTiming",
+    "MemoryBank",
+    "QAdaptive",
+    "Query",
+    "QueryAdjust",
+    "ProductLine",
+    "QueryRep",
+    "Sgtin96",
+    "Select",
+    "Session",
+    "SessionFlagStore",
+    "SessionedInventory",
+    "SelectAction",
+    "SelectTarget",
+    "SlotOutcome",
+    "TagProtocolState",
+    "TagRead",
+    "apply_selects",
+    "matches",
+    "is_sgtin96",
+    "random_epc_population",
+    "warehouse_population",
+]

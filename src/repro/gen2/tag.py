@@ -1,0 +1,148 @@
+"""Tag-side Gen2 protocol state machine.
+
+Models the state a passive tag keeps during inventory: the SL flag set by
+Select, the per-session inventoried flag, the slot counter loaded by
+Query/QueryAdjust, and the RN16 handshake.  The inventory engine drives many
+of these in vectorised form for speed; this class is the reference (and
+test oracle) for single-tag behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.gen2.commands import (
+    Ack,
+    Query,
+    QueryAdjust,
+    QueryRep,
+    Select,
+    SelectAction,
+    SelectTarget,
+)
+from repro.gen2.epc import EPC
+from repro.gen2.select import matches
+from repro.util.rng import SeedLike, make_rng
+
+
+class TagState(enum.Enum):
+    """Gen2 tag states (the subset exercised during inventory)."""
+
+    READY = "ready"
+    ARBITRATE = "arbitrate"
+    REPLY = "reply"
+    ACKNOWLEDGED = "acknowledged"
+
+
+class TagProtocolState:
+    """One tag's link-layer state."""
+
+    def __init__(self, epc: EPC, rng: SeedLike = None) -> None:
+        self.epc = epc
+        self.rng = make_rng(rng)
+        self.sl = False
+        self.inventoried_a = [True, True, True, True]  # per session: A side
+        self.state = TagState.READY
+        self.slot_counter: Optional[int] = None
+        self.rn16: Optional[int] = None
+        self.q = 0
+
+    # -- command handlers ----------------------------------------------------
+    def on_select(self, select: Select) -> None:
+        """Apply a Select command to the SL or inventoried flag."""
+        hit = matches(select, self.epc)
+        if select.target == SelectTarget.SL:
+            self._apply_action(select.action, hit, flag="sl")
+        else:
+            session = int(select.target)
+            self._apply_action(select.action, hit, flag="inv", session=session)
+        self.state = TagState.READY
+        self.slot_counter = None
+
+    def _apply_action(
+        self, action: SelectAction, hit: bool, flag: str, session: int = 0
+    ) -> None:
+        def read() -> bool:
+            return self.sl if flag == "sl" else self.inventoried_a[session]
+
+        def write(value: bool) -> None:
+            if flag == "sl":
+                self.sl = value
+            else:
+                self.inventoried_a[session] = value
+
+        if action == SelectAction.ASSERT_DEASSERT:
+            write(hit)
+        elif action == SelectAction.ASSERT_NOTHING and hit:
+            write(True)
+        elif action == SelectAction.NOTHING_DEASSERT and not hit:
+            write(False)
+        elif action == SelectAction.NEGATE_NOTHING and hit:
+            write(not read())
+
+    def participates(self, query: Query) -> bool:
+        """Whether this tag joins the frame started by ``query``."""
+        if query.sel_only and not self.sl:
+            return False
+        session = int(query.session)
+        return self.inventoried_a[session] == query.target_a
+
+    def on_query(self, query: Query) -> Optional[int]:
+        """Handle Query: draw a slot; returns RN16 if the tag replies now."""
+        if not self.participates(query):
+            self.state = TagState.READY
+            self.slot_counter = None
+            return None
+        self.q = query.q
+        self.slot_counter = int(self.rng.integers(0, query.frame_length))
+        return self._maybe_reply()
+
+    def on_query_adjust(self, adjust: QueryAdjust) -> Optional[int]:
+        """Handle QueryAdjust: redraw the slot counter with the new Q."""
+        if self.slot_counter is None and self.state != TagState.REPLY:
+            return None
+        self.q = adjust.q
+        self.slot_counter = int(self.rng.integers(0, 1 << adjust.q))
+        self.state = TagState.ARBITRATE
+        return self._maybe_reply()
+
+    def on_query_rep(self, rep: QueryRep) -> Optional[int]:
+        """Handle QueryRep: decrement the slot counter, reply at zero."""
+        if self.state == TagState.REPLY:
+            # Replied but was not ACKed (collision): return to arbitrate with
+            # the maximum counter value, i.e. wait for the next frame.
+            self.state = TagState.ARBITRATE
+            self.slot_counter = (1 << 15) - 1
+            return None
+        if self.slot_counter is None:
+            return None
+        self.slot_counter = max(0, self.slot_counter - 1)
+        return self._maybe_reply()
+
+    def _maybe_reply(self) -> Optional[int]:
+        if self.slot_counter == 0:
+            self.state = TagState.REPLY
+            self.rn16 = int(self.rng.integers(0, 1 << 16))
+            return self.rn16
+        self.state = TagState.ARBITRATE
+        return None
+
+    def on_ack(self, ack: Ack, session: int = 0) -> Optional[EPC]:
+        """Handle ACK: if it echoes our RN16, backscatter the EPC."""
+        if self.state != TagState.REPLY or ack.rn16 != self.rn16:
+            return None
+        self.state = TagState.ACKNOWLEDGED
+        # Inventoried flag flips (A -> B) so the tag stays quiet for the
+        # remainder of the round.
+        self.inventoried_a[session] = not self.inventoried_a[session]
+        self.slot_counter = None
+        return self.epc
+
+    def reset_round(self, session: int = 0, target_a: bool = True) -> None:
+        """Start of a fresh round: restore the inventoried flag target."""
+        self.inventoried_a[session] = target_a
+        self.state = TagState.READY
+        self.slot_counter = None

@@ -1,0 +1,33 @@
+"""RF substrate: channel plans, geometry, multipath backscatter channel,
+and the measurement model producing (phase, RSS) observations."""
+
+from repro.radio.channel import backscatter_gain, path_loss_amplitude
+from repro.radio.constants import (
+    SPEED_OF_LIGHT,
+    ChannelPlan,
+    china_920_926,
+    wavelength,
+)
+from repro.radio.geometry import (
+    as_point,
+    distance,
+    fresnel_excess,
+    fresnel_zone_index,
+)
+from repro.radio.measurement import NoiseModel, TagObservation, measure
+
+__all__ = [
+    "ChannelPlan",
+    "NoiseModel",
+    "SPEED_OF_LIGHT",
+    "TagObservation",
+    "as_point",
+    "backscatter_gain",
+    "china_920_926",
+    "distance",
+    "fresnel_excess",
+    "fresnel_zone_index",
+    "measure",
+    "path_loss_amplitude",
+    "wavelength",
+]

@@ -1,0 +1,107 @@
+"""Complex baseband backscatter channel with multipath.
+
+A monostatic RFID link is modelled as the *square* of the one-way channel
+(the same paths are traversed reader->tag and tag->reader):
+
+    g  = sum over paths of  a_i * exp(-j * 2*pi * d_i / lambda)
+    h  = g ** 2
+
+where the direct path has free-space amplitude ``lambda / (4*pi*d)`` and each
+reflector contributes an attenuated longer path.  The measured RF phase is
+``angle(h) + tag offset + per-(antenna, channel) LO offset``; RSS follows
+``|h|``.  Movement of the tag sweeps the direct-path phase at
+``4*pi*d / lambda`` (the paper's "natural amplifier": 1 cm of displacement is
+2 cm of path change); movement of an ambient reflector toggles the
+superposition between a small set of modes — exactly the Gaussian-mixture
+structure Phase I exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.radio.constants import wavelength
+from repro.radio.geometry import PointLike, as_point
+
+
+@dataclass(frozen=True)
+class Reflector:
+    """A point scatterer: position plus a (one-way) reflection coefficient."""
+
+    position: np.ndarray
+    coefficient: float = 0.4
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "position", as_point(self.position))
+        if not 0.0 <= self.coefficient <= 1.0:
+            raise ValueError("reflection coefficient must be in [0, 1]")
+
+
+def path_loss_amplitude(distance_m: float, wavelength_m: float) -> float:
+    """Free-space one-way field amplitude ``lambda / (4 pi d)``.
+
+    Clamped below half a wavelength of separation so that co-located points
+    do not produce non-physical gains > 1.
+    """
+    d = max(distance_m, wavelength_m / 2.0)
+    return wavelength_m / (4.0 * np.pi * d)
+
+
+def one_way_gain(
+    antenna: PointLike,
+    tag: PointLike,
+    freq_hz: float,
+    reflectors: Sequence[Reflector] = (),
+) -> complex:
+    """Complex one-way channel gain antenna -> tag including reflections."""
+    lam = wavelength(freq_hz)
+    a = as_point(antenna)
+    t = as_point(tag)
+    d_direct = float(np.linalg.norm(a - t))
+    g = path_loss_amplitude(d_direct, lam) * np.exp(
+        -2j * np.pi * d_direct / lam
+    )
+    for reflector in reflectors:
+        p = reflector.position
+        d_path = float(np.linalg.norm(a - p) + np.linalg.norm(p - t))
+        amp = reflector.coefficient * path_loss_amplitude(d_path, lam)
+        g += amp * np.exp(-2j * np.pi * d_path / lam)
+    return complex(g)
+
+
+def backscatter_gain(
+    antenna: PointLike,
+    tag: PointLike,
+    freq_hz: float,
+    reflectors: Sequence[Reflector] = (),
+) -> complex:
+    """Round-trip (monostatic) channel gain: the one-way gain squared."""
+    g = one_way_gain(antenna, tag, freq_hz, reflectors)
+    return g * g
+
+
+def dominant_mode_phases(
+    antenna: PointLike,
+    tag: PointLike,
+    freq_hz: float,
+    reflector_positions: Iterable[PointLike],
+    coefficient: float = 0.4,
+) -> Tuple[float, ...]:
+    """Phases of the multipath 'modes' a moving reflector toggles between.
+
+    Returns the round-trip phase with no reflector and with the reflector at
+    each supplied position — the centres of the Gaussian modes Phase I's GMM
+    is expected to learn (cf. the paper's Fig 7b: angle(s1+s2),
+    angle(s1+s2+s3), angle(s1+s2+s4)).
+    """
+    base = np.angle(backscatter_gain(antenna, tag, freq_hz))
+    phases = [float(np.mod(base, 2 * np.pi))]
+    for pos in reflector_positions:
+        h = backscatter_gain(
+            antenna, tag, freq_hz, (Reflector(as_point(pos), coefficient),)
+        )
+        phases.append(float(np.mod(np.angle(h), 2 * np.pi)))
+    return tuple(phases)

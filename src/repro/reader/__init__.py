@@ -1,0 +1,36 @@
+"""Reader emulation: LLRP message layer, the simulated R420, and a client."""
+
+from repro.reader.client import LLRPClient, ReaderState
+from repro.reader.llrp import (
+    AISpec,
+    AISpecStopTrigger,
+    C1G2Filter,
+    ROSpec,
+    rospec_from_xml,
+    rospec_to_xml,
+)
+from repro.reader.reader import SimReader
+from repro.reader.reports import (
+    ReportTrigger,
+    ROReportContentSelector,
+    ROReportSpec,
+    TagReportEntry,
+    build_reports,
+)
+
+__all__ = [
+    "AISpec",
+    "AISpecStopTrigger",
+    "C1G2Filter",
+    "LLRPClient",
+    "ROReportContentSelector",
+    "ROReportSpec",
+    "ROSpec",
+    "ReaderState",
+    "ReportTrigger",
+    "TagReportEntry",
+    "build_reports",
+    "SimReader",
+    "rospec_from_xml",
+    "rospec_to_xml",
+]

@@ -1,0 +1,251 @@
+"""SimReader: a simulated ImpinJ Speedway R420.
+
+Binds the slot-accurate :class:`~repro.gen2.inventory.InventoryEngine` to a
+physical :class:`~repro.world.scene.Scene`: every successful slot becomes a
+:class:`~repro.radio.measurement.TagObservation` carrying the phase/RSS the
+channel model produces at the exact simulated read time, on the channel the
+hopper currently occupies, for the antenna running the round.
+
+The reader owns the simulated clock.  Rounds advance it; frequency hops
+happen at round boundaries once the regulatory dwell has elapsed (COTS
+readers do not retune mid-round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.gen2.aloha import QAdaptive
+from repro.gen2.commands import Select
+from repro.gen2.inventory import InventoryEngine, InventoryLog
+from repro.gen2.select import apply_selects
+from repro.gen2.timing import R420_PROFILE, LinkTiming
+from repro.radio.measurement import TagObservation
+from repro.reader.llrp import AISpec, ROSpec
+from repro.util.rng import RngStream
+from repro.world.scene import Scene
+
+ReportCallback = Callable[[TagObservation], None]
+
+
+@dataclass
+class RoundResult:
+    """Observations plus the link-layer log of one inventory round."""
+
+    observations: List[TagObservation]
+    log: InventoryLog
+    antenna_index: int
+    channel_index: int
+
+
+class SimReader:
+    """A four-port COTS reader bound to a scene.
+
+    Parameters
+    ----------
+    scene:
+        Physical truth (tags, antennas, channel plan, noise).
+    timing:
+        Gen2 link timing profile.
+    strategy_factory:
+        Anti-collision controller per round; defaults to Q-adaptive with the
+        spec-recommended initial Q of 4.
+    seed:
+        Seed for slot draws (independent of the scene's measurement noise).
+    with_replacement:
+        Session model handed to the inventory engine (see its docstring).
+    """
+
+    def __init__(
+        self,
+        scene: Scene,
+        timing: LinkTiming = R420_PROFILE,
+        strategy_factory: Optional[Callable[[], object]] = None,
+        seed: int = 0,
+        with_replacement: bool = True,
+        read_loss_probability: float = 0.0,
+    ) -> None:
+        self.scene = scene
+        self.timing = timing
+        factory = strategy_factory or (lambda: QAdaptive(initial_q=4))
+        self._streams = RngStream(seed)
+        self.engine = InventoryEngine(
+            timing,
+            factory,
+            rng=self._streams.child("slots"),
+            with_replacement=with_replacement,
+            read_loss_probability=read_loss_probability,
+        )
+        self.time_s = 0.0
+        self._channel_index = 0
+        self._last_hop_s = 0.0
+        self._report_callbacks: List[ReportCallback] = []
+
+    # ------------------------------------------------------------------
+    # Clock and channel management
+    # ------------------------------------------------------------------
+    @property
+    def channel_index(self) -> int:
+        return self._channel_index
+
+    def add_report_callback(self, callback: ReportCallback) -> None:
+        """Register a callback invoked for every tag report."""
+        self._report_callbacks.append(callback)
+
+    def _maybe_hop(self) -> None:
+        plan = self.scene.channel_plan
+        if len(plan) < 2:
+            return
+        if self.time_s - self._last_hop_s >= plan.hop_dwell_s:
+            self._channel_index = (self._channel_index + 1) % len(plan)
+            self._last_hop_s = self.time_s
+
+    def advance_clock(self, seconds: float) -> None:
+        """Let simulated time pass without reading (reader idle)."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.time_s += seconds
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    def participants(
+        self, antenna_index: int, selects: Sequence[Select]
+    ) -> List[int]:
+        """Tag indices that will contend: in range, present, SL-selected."""
+        in_range = self.scene.tags_in_range(antenna_index, self.time_s)
+        matchables = [self.scene.tags[i].matchable() for i in in_range]
+        flags = apply_selects(list(selects), matchables)
+        return [idx for idx, flag in zip(in_range, flags) if flag]
+
+    def inventory_round(
+        self,
+        antenna_index: int,
+        selects: Sequence[Select] = (),
+        max_duration_s: Optional[float] = None,
+    ) -> RoundResult:
+        """Run one inventory round on one antenna.
+
+        The round's start-up cost already includes one Select; additional
+        Select commands (multi-filter union) are charged explicitly.
+        """
+        if not 0 <= antenna_index < len(self.scene.antennas):
+            raise ValueError(
+                f"antenna {antenna_index} does not exist on this reader "
+                f"({len(self.scene.antennas)} port(s))"
+            )
+        self._maybe_hop()
+        channel = self._channel_index
+        extra_selects = max(0, len(selects) - 1)
+        self.time_s += extra_selects * self.timing.select_duration
+
+        participants = self.participants(antenna_index, selects)
+        log = self.engine.run_round(
+            participants,
+            start_time_s=self.time_s,
+            max_duration_s=max_duration_s,
+        )
+        observations = []
+        for read in log.reads:
+            # A tag may leave the scene mid-round (participants are fixed
+            # when the round starts); it simply stops responding, so its
+            # pending read produces no report.
+            if not self.scene.tags[read.tag_index].is_present(read.time_s):
+                continue
+            obs = self.scene.observe(
+                read.tag_index, antenna_index, channel, read.time_s
+            )
+            observations.append(obs)
+            for callback in self._report_callbacks:
+                callback(obs)
+        self.time_s = log.end_time_s
+        return RoundResult(observations, log, antenna_index, channel)
+
+    def run_duration(
+        self,
+        duration_s: float,
+        antenna_indices: Optional[Sequence[int]] = None,
+        selects: Sequence[Select] = (),
+    ) -> Tuple[List[TagObservation], InventoryLog]:
+        """Continuous inventory for ``duration_s``, cycling antennas per round."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        antennas = list(
+            antenna_indices
+            if antenna_indices is not None
+            else range(len(self.scene.antennas))
+        )
+        deadline = self.time_s + duration_s
+        all_obs: List[TagObservation] = []
+        total = InventoryLog(start_time_s=self.time_s, end_time_s=self.time_s)
+        cursor = 0
+        while self.time_s < deadline:
+            result = self.inventory_round(
+                antennas[cursor % len(antennas)],
+                selects,
+                max_duration_s=deadline - self.time_s,
+            )
+            all_obs.extend(result.observations)
+            total.merge(result.log)
+            cursor += 1
+        return all_obs, total
+
+    # ------------------------------------------------------------------
+    # ROSpec execution (LLRP entry point)
+    # ------------------------------------------------------------------
+    def execute_rospec(self, rospec: ROSpec) -> Tuple[List[TagObservation], InventoryLog]:
+        """Execute a ROSpec: AISpecs run sequentially, looping until the
+        ROSpec duration elapses (or once through when no duration is set)."""
+        all_obs: List[TagObservation] = []
+        total = InventoryLog(start_time_s=self.time_s, end_time_s=self.time_s)
+        deadline = (
+            self.time_s + rospec.duration_s
+            if rospec.duration_s is not None
+            else None
+        )
+        while True:
+            for ai_spec in rospec.ai_specs:
+                remaining = None if deadline is None else deadline - self.time_s
+                if remaining is not None and remaining <= 0:
+                    return all_obs, total
+                obs, log = self._execute_aispec(ai_spec, remaining)
+                all_obs.extend(obs)
+                total.merge(log)
+            if deadline is None:
+                return all_obs, total
+
+    def _execute_aispec(
+        self, ai_spec: AISpec, remaining_s: Optional[float]
+    ) -> Tuple[List[TagObservation], InventoryLog]:
+        selects = ai_spec.selects()
+        all_obs: List[TagObservation] = []
+        total = InventoryLog(start_time_s=self.time_s, end_time_s=self.time_s)
+        if ai_spec.stop.duration_s is not None:
+            budget = ai_spec.stop.duration_s
+            if remaining_s is not None:
+                budget = min(budget, remaining_s)
+            deadline = self.time_s + budget
+            cursor = 0
+            while self.time_s < deadline:
+                result = self.inventory_round(
+                    ai_spec.antenna_ids[cursor % len(ai_spec.antenna_ids)],
+                    selects,
+                    max_duration_s=deadline - self.time_s,
+                )
+                all_obs.extend(result.observations)
+                total.merge(result.log)
+                cursor += 1
+            return all_obs, total
+
+        for _ in range(ai_spec.stop.n_rounds or 1):
+            for antenna in ai_spec.antenna_ids:
+                budget = (
+                    None if remaining_s is None else remaining_s - total.duration_s
+                )
+                if budget is not None and budget <= 0:
+                    return all_obs, total
+                result = self.inventory_round(antenna, selects, budget)
+                all_obs.extend(result.observations)
+                total.merge(result.log)
+        return all_obs, total

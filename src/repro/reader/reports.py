@@ -1,0 +1,108 @@
+"""LLRP tag reporting: ROReportSpec triggers and content selection.
+
+LLRP lets the client choose *when* tag reports are delivered (every N tag
+reads, or at the end of the ROSpec) and *which* fields each report carries
+(the ImpinJ extensions for RF phase and peak RSSI are what make Tagwatch
+possible at all).  The simulator models both so that the client-facing
+behaviour matches what ``sllurp`` users see from real readers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.radio.measurement import TagObservation
+
+
+class ReportTrigger(enum.Enum):
+    """When accumulated tag reports are pushed to the client."""
+
+    #: One RO_ACCESS_REPORT per N tag reads (N = ``n_tag_reports``).
+    N_TAG_REPORTS = "n_tag_reports"
+    #: A single report when the ROSpec completes.
+    END_OF_ROSPEC = "end_of_rospec"
+
+
+@dataclass(frozen=True)
+class ROReportContentSelector:
+    """Which optional fields each tag report carries.
+
+    EPC is always present.  Phase and peak RSSI are ImpinJ vendor
+    extensions; disabling them models a reader (or configuration) that
+    cannot feed Tagwatch's motion assessment.
+    """
+
+    enable_phase: bool = True
+    enable_peak_rssi: bool = True
+    enable_channel_index: bool = True
+    enable_timestamp: bool = True
+    enable_antenna_id: bool = True
+
+
+@dataclass(frozen=True)
+class ROReportSpec:
+    """Reporting policy attached to a ROSpec."""
+
+    trigger: ReportTrigger = ReportTrigger.N_TAG_REPORTS
+    n_tag_reports: int = 1
+    content: ROReportContentSelector = ROReportContentSelector()
+
+    def __post_init__(self) -> None:
+        if (
+            self.trigger == ReportTrigger.N_TAG_REPORTS
+            and self.n_tag_reports < 1
+        ):
+            raise ValueError("n_tag_reports must be >= 1")
+
+
+@dataclass(frozen=True)
+class TagReportEntry:
+    """One tag report as the client sees it (fields may be withheld)."""
+
+    epc_hex: str
+    timestamp_s: Optional[float]
+    antenna_id: Optional[int]
+    channel_index: Optional[int]
+    phase_rad: Optional[float]
+    peak_rssi_dbm: Optional[float]
+
+    @classmethod
+    def from_observation(
+        cls, obs: TagObservation, content: ROReportContentSelector
+    ) -> "TagReportEntry":
+        return cls(
+            epc_hex=obs.epc.to_hex(),
+            timestamp_s=obs.time_s if content.enable_timestamp else None,
+            antenna_id=(
+                obs.antenna_index if content.enable_antenna_id else None
+            ),
+            channel_index=(
+                obs.channel_index if content.enable_channel_index else None
+            ),
+            phase_rad=obs.phase_rad if content.enable_phase else None,
+            peak_rssi_dbm=obs.rss_dbm if content.enable_peak_rssi else None,
+        )
+
+
+def build_reports(
+    observations: Sequence[TagObservation],
+    spec: ROReportSpec,
+) -> List[List[TagReportEntry]]:
+    """Batch observations into RO_ACCESS_REPORT messages per the spec.
+
+    Returns a list of batches (each batch is one report message).  With the
+    default N=1 trigger every read is its own message, as ImpinJ readers are
+    typically configured for latency-sensitive middleware.
+    """
+    entries = [
+        TagReportEntry.from_observation(obs, spec.content)
+        for obs in observations
+    ]
+    if not entries:
+        return []
+    if spec.trigger == ReportTrigger.END_OF_ROSPEC:
+        return [entries]
+    n = spec.n_tag_reports
+    return [entries[i : i + n] for i in range(0, len(entries), n)]

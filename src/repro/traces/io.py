@@ -1,0 +1,85 @@
+"""Reading-trace persistence: JSONL observation logs.
+
+Lets users record a (simulated or real) deployment's tag reports and replay
+them later — through the motion assessor, the trackers, or the analysis
+helpers — without re-running the reader.  One JSON object per line:
+
+    {"t": 12.345, "epc": "3034...", "phase": 1.234, "rss": -51.5,
+     "ant": 0, "ch": 3}
+
+The format is deliberately reader-agnostic; a thin script can convert
+``sllurp`` logs from real hardware into it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from repro.gen2.epc import EPC
+from repro.radio.measurement import TagObservation
+
+PathLike = Union[str, Path]
+
+
+def observation_to_record(obs: TagObservation) -> dict:
+    """The JSON-serialisable form of one observation."""
+    return {
+        "t": obs.time_s,
+        "epc": obs.epc.to_hex(),
+        "phase": obs.phase_rad,
+        "rss": obs.rss_dbm,
+        "ant": obs.antenna_index,
+        "ch": obs.channel_index,
+    }
+
+
+def record_to_observation(record: dict, epc_bits: int = 96) -> TagObservation:
+    """Parse one JSONL record back into an observation."""
+    try:
+        return TagObservation(
+            epc=EPC.from_hex(record["epc"], length=epc_bits),
+            time_s=float(record["t"]),
+            phase_rad=float(record["phase"]),
+            rss_dbm=float(record["rss"]),
+            antenna_index=int(record["ant"]),
+            channel_index=int(record["ch"]),
+        )
+    except KeyError as exc:
+        raise ValueError(f"trace record missing field {exc}") from exc
+
+
+def save_observations(
+    path: PathLike, observations: Iterable[TagObservation]
+) -> int:
+    """Write observations as JSONL; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for obs in observations:
+            handle.write(json.dumps(observation_to_record(obs)) + "\n")
+            count += 1
+    return count
+
+
+def load_observations(
+    path: PathLike, epc_bits: int = 96
+) -> List[TagObservation]:
+    """Read a JSONL observation log written by :func:`save_observations`."""
+    return list(iter_observations(path, epc_bits))
+
+
+def iter_observations(
+    path: PathLike, epc_bits: int = 96
+) -> Iterator[TagObservation]:
+    """Stream a JSONL observation log without loading it whole."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: bad JSON") from exc
+            yield record_to_observation(record, epc_bits)

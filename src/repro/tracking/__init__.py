@@ -1,0 +1,22 @@
+"""Tracking application substrate: hologram localisation + accuracy metrics."""
+
+from repro.tracking.dah import DahConfig, DifferentialTracker
+from repro.tracking.fleet import FleetTracker, TrackedTag
+from repro.tracking.hologram import (
+    HologramLocalizer,
+    PositionEstimate,
+    TrackingConfig,
+)
+from repro.tracking.trajectory import TrackAccuracy, evaluate_track
+
+__all__ = [
+    "DahConfig",
+    "DifferentialTracker",
+    "FleetTracker",
+    "HologramLocalizer",
+    "PositionEstimate",
+    "TrackAccuracy",
+    "TrackedTag",
+    "TrackingConfig",
+    "evaluate_track",
+]

@@ -1,0 +1,125 @@
+"""Terminal line plots for figure-like output without plotting dependencies.
+
+The benchmark harness prints tables; these helpers add a rough visual for
+multi-series figures (Fig 2's curves, Fig 12's ROC, Fig 18's gains) so a
+terminal user can eyeball the shapes the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+    title: str = "",
+) -> str:
+    """Render named (xs, ys) series on one character grid.
+
+    >>> print(ascii_plot({"irr": ([1, 2, 3], [3.0, 2.0, 1.0])}))
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: x/y length mismatch")
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+
+    all_x = [float(x) for xs, _ in series.values() for x in xs]
+    all_y = [float(y) for _, ys in series.values() for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, glyph: str) -> None:
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = glyph
+
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        # Light linear interpolation so curves read as lines, not dots.
+        points = sorted(zip(map(float, xs), map(float, ys)))
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            steps = max(
+                2,
+                int(abs(x1 - x0) / x_span * width)
+                + int(abs(y1 - y0) / y_span * height),
+            )
+            for step in range(steps + 1):
+                frac = step / steps
+                place(x0 + (x1 - x0) * frac, y0 + (y1 - y0) * frac, glyph)
+        if len(points) == 1:
+            place(points[0][0], points[0][1], glyph)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_hi_text = f"{y_hi:.3g}"
+    y_lo_text = f"{y_lo:.3g}"
+    margin = max(len(y_hi_text), len(y_lo_text), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = y_hi_text.rjust(margin)
+        elif row_index == height - 1:
+            prefix = y_lo_text.rjust(margin)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    x_axis = " " * margin + "+" + "-" * width
+    lines.append(x_axis)
+    x_lo_text = f"{x_lo:.3g}"
+    x_hi_text = f"{x_hi:.3g}"
+    label_line = (
+        " " * (margin + 1)
+        + x_lo_text
+        + x_label.center(width - len(x_lo_text) - len(x_hi_text))
+        + x_hi_text
+    )
+    lines.append(label_line)
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    values_by_name: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 14,
+    x_label: str = "value",
+    title: str = "",
+) -> str:
+    """Plot empirical CDFs of one or more samples (Fig 17's presentation)."""
+    series = {}
+    for name, values in values_by_name.items():
+        ordered = sorted(float(v) for v in values)
+        if not ordered:
+            raise ValueError(f"sample {name!r} is empty")
+        probs = [(i + 1) / len(ordered) for i in range(len(ordered))]
+        series[name] = (ordered, probs)
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        x_label=x_label,
+        y_label="CDF",
+        title=title,
+    )

@@ -1,0 +1,71 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the simulator draws from a ``numpy`` generator
+handed to it explicitly.  Experiments create one root generator from a seed
+and *derive* independent child streams by name, so adding a new consumer never
+perturbs the draws seen by existing ones (a classic reproducibility bug in
+simulators that share a single global stream).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy`` generator.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged, so call sites can be seed-or-rng agnostic).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_rng(parent_seed: int, name: str) -> np.random.Generator:
+    """Derive an independent generator from ``parent_seed`` keyed by ``name``.
+
+    The name is hashed into the seed material so that streams for different
+    components are statistically independent yet fully reproducible.
+    """
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    salt = int.from_bytes(digest[:8], "big")
+    return np.random.default_rng(np.random.SeedSequence([parent_seed, salt]))
+
+
+class RngStream:
+    """A named hierarchy of reproducible random generators.
+
+    >>> streams = RngStream(seed=7)
+    >>> channel_rng = streams.child("channel")
+    >>> mobility_rng = streams.child("mobility")
+
+    Requesting the same child name twice returns generators with identical
+    initial state only if a fresh ``RngStream`` is built; within one stream
+    object each request returns a *new* generator so accidental sharing is
+    impossible.
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        if seed is None:
+            seed = int(np.random.default_rng().integers(0, 2**63 - 1))
+        self.seed = int(seed)
+
+    def child(self, name: str) -> np.random.Generator:
+        """Return an independent generator for component ``name``."""
+        return derive_rng(self.seed, name)
+
+    def child_seed(self, name: str) -> int:
+        """Return an integer seed derived for ``name`` (for sub-streams)."""
+        digest = hashlib.sha256(name.encode("utf-8")).digest()
+        salt = int.from_bytes(digest[:8], "big")
+        return (self.seed * 1_000_003 + salt) % (2**63 - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngStream(seed={self.seed})"

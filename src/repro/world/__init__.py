@@ -1,0 +1,33 @@
+"""Physical-world simulation: trajectories, ambient movers, and scenes."""
+
+from repro.world.motion import (
+    CircularPath,
+    ConveyorPath,
+    LinearPath,
+    RandomWaypointWalk,
+    Stationary,
+    StepDisplacement,
+    Trajectory,
+    TurntablePath,
+    WaypointPath,
+)
+from repro.world.objects import AmbientObject, office_worker, walking_person
+from repro.world.scene import Antenna, Scene, TagInstance
+
+__all__ = [
+    "AmbientObject",
+    "Antenna",
+    "CircularPath",
+    "office_worker",
+    "ConveyorPath",
+    "LinearPath",
+    "RandomWaypointWalk",
+    "Scene",
+    "Stationary",
+    "StepDisplacement",
+    "TagInstance",
+    "Trajectory",
+    "TurntablePath",
+    "WaypointPath",
+    "walking_person",
+]

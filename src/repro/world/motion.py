@@ -1,0 +1,270 @@
+"""Trajectories: position as a function of simulated time.
+
+Each trajectory exposes ``position(t) -> (3,) array`` and a convenience
+``is_moving_at(t)`` ground-truth flag used to score motion detection.  The
+concrete classes cover every rig the paper's evaluation uses: stationary
+placement, the toy train's circular track, a conveyor pass, a spinning
+turntable, discrete displacement steps (sensitivity study), and a random
+waypoint walk (ambient people).
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.radio.geometry import PointLike, as_point
+from repro.util.rng import SeedLike, make_rng
+
+
+class Trajectory(abc.ABC):
+    """Position of an object over time."""
+
+    @abc.abstractmethod
+    def position(self, t: float) -> np.ndarray:
+        """(3,) position at time ``t`` (seconds)."""
+
+    def is_moving_at(self, t: float, eps: float = 1e-4) -> bool:
+        """Ground-truth motion flag: is the object displacing around ``t``?"""
+        before = self.position(max(0.0, t - 0.05))
+        after = self.position(t + 0.05)
+        return float(np.linalg.norm(after - before)) > eps
+
+    def instantaneous_speed(self, t: float, dt: float = 0.01) -> float:
+        """Finite-difference speed estimate at time ``t`` (m/s).
+
+        Named distinctly from the ``speed`` *parameter* some trajectories
+        carry (e.g. :class:`CircularPath`), which would otherwise shadow it.
+        """
+        a = self.position(t)
+        b = self.position(t + dt)
+        return float(np.linalg.norm(b - a)) / dt
+
+
+class Stationary(Trajectory):
+    """An object that never moves."""
+
+    def __init__(self, position: PointLike) -> None:
+        self._position = as_point(position)
+
+    def position(self, t: float) -> np.ndarray:
+        return self._position.copy()
+
+    def is_moving_at(self, t: float, eps: float = 1e-4) -> bool:
+        return False
+
+
+class LinearPath(Trajectory):
+    """Constant-velocity motion starting at ``start`` at time ``t0``."""
+
+    def __init__(
+        self, start: PointLike, velocity: PointLike, t0: float = 0.0
+    ) -> None:
+        self.start = as_point(start)
+        self.velocity = as_point(velocity)
+        self.t0 = t0
+
+    def position(self, t: float) -> np.ndarray:
+        return self.start + self.velocity * (t - self.t0)
+
+
+class CircularPath(Trajectory):
+    """The toy train: constant speed around a circle of given radius."""
+
+    def __init__(
+        self,
+        center: PointLike,
+        radius: float,
+        speed: float,
+        phase0: float = 0.0,
+        z: Optional[float] = None,
+        start_time: float = 0.0,
+    ) -> None:
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.center = as_point(center)
+        if z is not None:
+            self.center[2] = z
+        self.radius = radius
+        self.speed = speed
+        self.phase0 = phase0
+        #: The train sits at its starting point until ``start_time`` — a
+        #: calibration hold for trackers that fix the initial position.
+        self.start_time = start_time
+
+    def position(self, t: float) -> np.ndarray:
+        elapsed = max(0.0, t - self.start_time)
+        angle = self.phase0 + self.speed * elapsed / self.radius
+        offset = np.array(
+            [self.radius * np.cos(angle), self.radius * np.sin(angle), 0.0]
+        )
+        return self.center + offset
+
+    def is_moving_at(self, t: float, eps: float = 1e-4) -> bool:
+        return self.speed != 0.0 and t > self.start_time
+
+
+class TurntablePath(CircularPath):
+    """A tag on a spinning turntable (Fig 18's mobile-tag rig)."""
+
+    def __init__(
+        self,
+        center: PointLike,
+        radius: float,
+        period_s: float,
+        phase0: float = 0.0,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        speed = 2.0 * np.pi * radius / period_s
+        super().__init__(center, radius, speed, phase0)
+        self.period_s = period_s
+
+
+class ConveyorPath(Trajectory):
+    """A package conveyed from ``start`` to ``end`` during a time window.
+
+    Before ``enter_time`` the object sits at ``start``; after arriving it
+    stays at ``end`` (sorted and parked).
+    """
+
+    def __init__(
+        self,
+        start: PointLike,
+        end: PointLike,
+        speed: float,
+        enter_time: float = 0.0,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError("conveyor speed must be positive")
+        self.start = as_point(start)
+        self.end = as_point(end)
+        self.speed = speed
+        self.enter_time = enter_time
+        self.travel_time = float(np.linalg.norm(self.end - self.start)) / speed
+
+    @property
+    def exit_time(self) -> float:
+        return self.enter_time + self.travel_time
+
+    def position(self, t: float) -> np.ndarray:
+        if t <= self.enter_time:
+            return self.start.copy()
+        if t >= self.exit_time:
+            return self.end.copy()
+        frac = (t - self.enter_time) / self.travel_time
+        return self.start + (self.end - self.start) * frac
+
+    def is_moving_at(self, t: float, eps: float = 1e-4) -> bool:
+        return self.enter_time < t < self.exit_time
+
+
+class StepDisplacement(Trajectory):
+    """Stationary, then an instantaneous displacement at ``step_time``.
+
+    Reproduces the Fig 13 sensitivity rig: "move a tag away in a random
+    direction with a displacement ranging from 1 cm to 5 cm".
+    """
+
+    def __init__(
+        self, position: PointLike, displacement: PointLike, step_time: float
+    ) -> None:
+        self.before = as_point(position)
+        self.after = self.before + as_point(displacement)
+        self.step_time = step_time
+
+    @classmethod
+    def random_direction(
+        cls,
+        position: PointLike,
+        magnitude_m: float,
+        step_time: float,
+        rng: SeedLike = None,
+        planar: bool = True,
+    ) -> "StepDisplacement":
+        """Displacement of ``magnitude_m`` in a uniformly random direction."""
+        if magnitude_m < 0:
+            raise ValueError("displacement magnitude must be non-negative")
+        gen = make_rng(rng)
+        if planar:
+            angle = gen.uniform(0.0, 2.0 * np.pi)
+            direction = np.array([np.cos(angle), np.sin(angle), 0.0])
+        else:
+            vec = gen.normal(size=3)
+            direction = vec / np.linalg.norm(vec)
+        return cls(position, direction * magnitude_m, step_time)
+
+    def position(self, t: float) -> np.ndarray:
+        return (self.after if t >= self.step_time else self.before).copy()
+
+    def is_moving_at(self, t: float, eps: float = 1e-4) -> bool:
+        return abs(t - self.step_time) <= 0.05
+
+
+class WaypointPath(Trajectory):
+    """Piecewise-linear interpolation through timestamped waypoints."""
+
+    def __init__(self, waypoints: Sequence[Tuple[float, PointLike]]) -> None:
+        if len(waypoints) < 1:
+            raise ValueError("need at least one waypoint")
+        times = [float(t) for t, _ in waypoints]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("waypoint times must be strictly increasing")
+        self.times = times
+        self.points = [as_point(p) for _, p in waypoints]
+
+    def position(self, t: float) -> np.ndarray:
+        if t <= self.times[0]:
+            return self.points[0].copy()
+        if t >= self.times[-1]:
+            return self.points[-1].copy()
+        idx = bisect.bisect_right(self.times, t) - 1
+        t0, t1 = self.times[idx], self.times[idx + 1]
+        frac = (t - t0) / (t1 - t0)
+        return self.points[idx] + (self.points[idx + 1] - self.points[idx]) * frac
+
+
+class RandomWaypointWalk(WaypointPath):
+    """A person wandering inside a rectangular region (office workers).
+
+    Alternates dwell pauses and straight walks to uniformly drawn waypoints,
+    pre-generated for ``duration_s`` of simulated time.
+    """
+
+    def __init__(
+        self,
+        region_min: PointLike,
+        region_max: PointLike,
+        duration_s: float,
+        speed: float = 1.0,
+        dwell_s: float = 2.0,
+        rng: SeedLike = None,
+        z: float = 1.0,
+    ) -> None:
+        if duration_s <= 0 or speed <= 0:
+            raise ValueError("duration and speed must be positive")
+        gen = make_rng(rng)
+        lo = as_point(region_min)
+        hi = as_point(region_max)
+        waypoints: List[Tuple[float, np.ndarray]] = []
+        t = 0.0
+        pos = np.array(
+            [gen.uniform(lo[0], hi[0]), gen.uniform(lo[1], hi[1]), z]
+        )
+        waypoints.append((t, pos))
+        while t < duration_s:
+            # Dwell in place, then walk to the next waypoint.
+            dwell = gen.exponential(dwell_s) + 1e-3
+            t += dwell
+            waypoints.append((t, pos))
+            target = np.array(
+                [gen.uniform(lo[0], hi[0]), gen.uniform(lo[1], hi[1]), z]
+            )
+            walk_time = float(np.linalg.norm(target - pos)) / speed + 1e-3
+            t += walk_time
+            waypoints.append((t, target))
+            pos = target
+        super().__init__(waypoints)

@@ -1,0 +1,237 @@
+"""Scene: tags, antennas and ambient movers bound to an RF channel model.
+
+The scene is the single source of physical truth.  The reader asks it two
+questions: *which tags can antenna k energise right now?* and *what
+observation does tag i produce on antenna k / channel c at time t?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gen2.epc import EPC, TagMemory
+from repro.radio.channel import Reflector, backscatter_gain
+from repro.radio.constants import ChannelPlan, single_channel
+from repro.radio.geometry import PointLike, as_point, distance
+from repro.radio.measurement import NoiseModel, TagObservation, measure
+from repro.util.circular import TWO_PI
+from repro.util.rng import RngStream
+from repro.world.motion import Stationary, Trajectory
+from repro.world.objects import AmbientObject
+
+
+@dataclass
+class Antenna:
+    """A reader antenna: position, usable range and a name."""
+
+    position: np.ndarray
+    range_m: float = 8.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.position = as_point(self.position)
+        if self.range_m <= 0:
+            raise ValueError("antenna range must be positive")
+
+
+@dataclass
+class TagInstance:
+    """A physical tag: identity, motion, and modulation phase offset.
+
+    ``enter_time``/``exit_time`` bound the interval during which the tag is
+    present in the scene at all, and ``blocked_intervals`` lists periods in
+    which the tag is shadowed (a pallet in front of it, a hand over it) and
+    cannot be energised (Section 4.3, "reading exceptions": tags are allowed
+    to come in, go out or be temporarily blocked any time).
+    """
+
+    epc: EPC
+    trajectory: Trajectory
+    phase_offset_rad: float = 0.0
+    enter_time: float = float("-inf")
+    exit_time: float = float("inf")
+    blocked_intervals: Tuple[Tuple[float, float], ...] = ()
+    #: Optional full memory map (TID/USER banks); must agree with ``epc``.
+    memory: Optional[TagMemory] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.memory is not None and self.memory.epc != self.epc:
+            raise ValueError("memory.epc must equal the tag's epc")
+        for start, end in self.blocked_intervals:
+            if end <= start:
+                raise ValueError(
+                    f"blocked interval ({start}, {end}) is empty or reversed"
+                )
+
+    def matchable(self):
+        """What Select commands compare against: memory if set, else EPC."""
+        return self.memory if self.memory is not None else self.epc
+
+    def is_blocked(self, t: float) -> bool:
+        """Whether the tag is shadowed at time ``t``."""
+        return any(
+            start <= t < end for start, end in self.blocked_intervals
+        )
+
+    def is_present(self, t: float) -> bool:
+        """Whether the tag is in the scene and unobstructed at ``t``."""
+        return (
+            self.enter_time <= t <= self.exit_time
+            and not self.is_blocked(t)
+        )
+
+    def is_moving_at(self, t: float) -> bool:
+        """Ground-truth motion flag at time ``t``."""
+        return self.trajectory.is_moving_at(t)
+
+
+class Scene:
+    """Physical truth for one deployment."""
+
+    def __init__(
+        self,
+        antennas: Sequence[Antenna],
+        tags: Sequence[TagInstance] = (),
+        ambient_objects: Sequence[AmbientObject] = (),
+        channel_plan: Optional[ChannelPlan] = None,
+        noise: Optional[NoiseModel] = None,
+        seed: int = 0,
+    ) -> None:
+        if not antennas:
+            raise ValueError("a scene needs at least one antenna")
+        self.antennas: List[Antenna] = list(antennas)
+        self.tags: List[TagInstance] = list(tags)
+        self.ambient_objects: List[AmbientObject] = list(ambient_objects)
+        self.channel_plan = channel_plan or single_channel()
+        self.noise = noise or NoiseModel()
+        self._streams = RngStream(seed)
+        self._measure_rng = self._streams.child("measurement")
+        # Per-(antenna, channel) local-oscillator phase offsets: a COTS
+        # reader's reported phase has an arbitrary per-channel reference.
+        lo_rng = self._streams.child("lo-offsets")
+        self._lo_offsets = lo_rng.uniform(
+            0.0, TWO_PI, size=(len(self.antennas), len(self.channel_plan))
+        )
+        self._epc_to_index: Dict[int, int] = {}
+        self._reindex()
+
+    # ------------------------------------------------------------------
+    def _reindex(self) -> None:
+        self._epc_to_index = {
+            tag.epc.value: i for i, tag in enumerate(self.tags)
+        }
+        if len(self._epc_to_index) != len(self.tags):
+            raise ValueError("duplicate EPCs in scene")
+
+    def add_tag(self, tag: TagInstance) -> int:
+        """Add a tag; returns its index."""
+        self.tags.append(tag)
+        self._reindex()
+        return len(self.tags) - 1
+
+    def remove_tag(self, index: int) -> TagInstance:
+        """Remove and return the tag at ``index``."""
+        tag = self.tags.pop(index)
+        self._reindex()
+        return tag
+
+    def index_of(self, epc: EPC) -> int:
+        """Index of the tag carrying ``epc``; raises ``KeyError`` if absent."""
+        return self._epc_to_index[epc.value]
+
+    # ------------------------------------------------------------------
+    def lo_offset(self, antenna_index: int, channel_index: int) -> float:
+        """The reader's LO phase reference for one (antenna, channel)."""
+        return float(
+            self._lo_offsets[antenna_index % len(self.antennas)]
+            [channel_index % len(self.channel_plan)]
+        )
+
+    def reflectors_at(self, t: float) -> List[Reflector]:
+        """Positions of all ambient scatterers at time ``t``."""
+        return [
+            Reflector(obj.trajectory.position(t), obj.reflection_coefficient)
+            for obj in self.ambient_objects
+        ]
+
+    def tags_in_range(self, antenna_index: int, t: float) -> List[int]:
+        """Indices of present tags that antenna ``antenna_index`` can power."""
+        antenna = self.antennas[antenna_index]
+        out = []
+        for i, tag in enumerate(self.tags):
+            if not tag.is_present(t):
+                continue
+            if distance(antenna.position, tag.trajectory.position(t)) <= antenna.range_m:
+                out.append(i)
+        return out
+
+    def observe(
+        self,
+        tag_index: int,
+        antenna_index: int,
+        channel_index: int,
+        t: float,
+    ) -> TagObservation:
+        """The (phase, RSS) report of one read, with noise and quantisation."""
+        tag = self.tags[tag_index]
+        if not tag.is_present(t):
+            raise ValueError(f"tag {tag_index} is not present at t={t}")
+        antenna = self.antennas[antenna_index]
+        freq = self.channel_plan.frequency(channel_index)
+        gain = backscatter_gain(
+            antenna.position,
+            tag.trajectory.position(t),
+            freq,
+            self.reflectors_at(t),
+        )
+        phase, rss = measure(
+            gain,
+            tag.phase_offset_rad,
+            self.lo_offset(antenna_index, channel_index),
+            self.noise,
+            self._measure_rng,
+        )
+        return TagObservation(
+            epc=tag.epc,
+            time_s=t,
+            phase_rad=phase,
+            rss_dbm=rss,
+            antenna_index=antenna_index,
+            channel_index=channel_index,
+        )
+
+    # ------------------------------------------------------------------
+    def moving_tag_indices(self, t: float) -> List[int]:
+        """Ground truth: indices of tags in motion at time ``t``."""
+        return [
+            i
+            for i, tag in enumerate(self.tags)
+            if tag.is_present(t) and tag.is_moving_at(t)
+        ]
+
+    def epcs(self) -> List[EPC]:
+        """All tag identities in scene order."""
+        return [tag.epc for tag in self.tags]
+
+
+def stationary_grid(
+    n: int,
+    epcs: Sequence[EPC],
+    origin: PointLike = (0.0, 0.0, 0.8),
+    spacing: float = 0.25,
+    columns: int = 10,
+) -> List[TagInstance]:
+    """Lay out ``n`` stationary tags on a grid (the paper's tag walls)."""
+    if n > len(epcs):
+        raise ValueError("not enough EPCs for the requested grid")
+    base = as_point(origin)
+    tags = []
+    for i in range(n):
+        row, col = divmod(i, columns)
+        pos = base + np.array([col * spacing, row * spacing, 0.0])
+        tags.append(TagInstance(epc=epcs[i], trajectory=Stationary(pos)))
+    return tags

@@ -1,0 +1,55 @@
+"""Tests for the adaptive Phase II duration extension."""
+
+import pytest
+
+from repro.core import TagwatchConfig
+from repro.experiments.harness import build_lab
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TagwatchConfig(phase2_reads_target=0)
+        with pytest.raises(ValueError):
+            TagwatchConfig(min_phase2_duration_s=0.0)
+        with pytest.raises(ValueError):
+            TagwatchConfig(
+                phase2_duration_s=1.0, min_phase2_duration_s=2.0
+            )
+
+    def test_preserved_by_with_concerned(self):
+        config = TagwatchConfig(phase2_reads_target=10).with_concerned([1])
+        assert config.phase2_reads_target == 10
+
+
+class TestAdaptiveDuration:
+    def _steady(self, **kwargs):
+        setup = build_lab(n_tags=20, n_mobile=1, seed=5, partition=True)
+        tagwatch = setup.tagwatch(
+            TagwatchConfig(phase2_duration_s=5.0, **kwargs)
+        )
+        tagwatch.warm_up(14.0)
+        return tagwatch.run_cycle()
+
+    def test_shrinks_phase2_for_few_targets(self):
+        result = self._steady(phase2_reads_target=20)
+        assert not result.fallback
+        phase2 = result.phase2_end_s - result.phase1_end_s
+        assert phase2 < 1.5  # far below the 5 s ceiling
+
+    def test_reads_near_target(self):
+        result = self._steady(phase2_reads_target=20)
+        per_target = len(result.phase2_observations) / max(
+            1, len(result.target_epc_values)
+        )
+        assert per_target == pytest.approx(20, rel=0.5)
+
+    def test_fixed_mode_unchanged(self):
+        result = self._steady()
+        phase2 = result.phase2_end_s - result.phase1_end_s
+        assert phase2 == pytest.approx(5.0, abs=0.3)
+
+    def test_ceiling_respected(self):
+        result = self._steady(phase2_reads_target=100000)
+        phase2 = result.phase2_end_s - result.phase1_end_s
+        assert phase2 <= 5.0 + 0.3

@@ -1,0 +1,82 @@
+"""Tests for the single-AISpec Phase II realisation (paper Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TagwatchConfig
+from repro.core.cost import PAPER_R420
+from repro.core.scheduler import TargetScheduler
+from repro.experiments.harness import build_lab, irr_by_tag
+from repro.gen2.epc import random_epc_population
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TagwatchConfig(aispec_mode="triple")
+        with pytest.raises(ValueError):
+            TargetScheduler(PAPER_R420, aispec_mode="triple")
+
+
+class TestRospecShape:
+    def test_single_mode_one_aispec(self):
+        population = random_epc_population(20, rng=5)
+        scheduler = TargetScheduler(
+            PAPER_R420, method="naive", aispec_mode="single"
+        )
+        targets = {population[i].value for i in range(4)}
+        plan = scheduler.plan(population, targets, (0, 1), 5.0)
+        assert len(plan.rospec.ai_specs) == 1
+        assert len(plan.rospec.ai_specs[0].filters) == 4
+
+    def test_per_bitmask_mode_k_aispecs(self):
+        population = random_epc_population(20, rng=5)
+        scheduler = TargetScheduler(PAPER_R420, method="naive")
+        targets = {population[i].value for i in range(4)}
+        plan = scheduler.plan(population, targets, (0, 1), 5.0)
+        assert len(plan.rospec.ai_specs) == 4
+
+
+class TestUnionSemantics:
+    def test_union_round_reads_exactly_the_targets(self):
+        setup = build_lab(n_tags=20, n_mobile=0, seed=9, n_antennas=1)
+        scheduler = TargetScheduler(
+            PAPER_R420, method="naive", aispec_mode="single"
+        )
+        targets = {setup.epcs[i].value for i in range(3)}
+        plan = scheduler.plan(setup.epcs, targets, (0,), 2.0)
+        observations, _ = setup.reader.execute_rospec(plan.rospec)
+        assert {o.epc.value for o in observations} == targets
+
+    def test_single_mode_outreads_per_bitmask_for_naive_masks(self):
+        """With k full-EPC masks, one union round per sweep beats k
+        singleton rounds: one start-up instead of k."""
+        irrs = {}
+        for mode in ("single", "per-bitmask"):
+            setup = build_lab(n_tags=40, n_mobile=0, seed=11, n_antennas=1)
+            scheduler = TargetScheduler(
+                PAPER_R420, method="naive", aispec_mode=mode
+            )
+            targets = {setup.epcs[i].value for i in range(5)}
+            plan = scheduler.plan(setup.epcs, targets, (0,), 8.0)
+            t0 = setup.reader.time_s
+            observations, _ = setup.reader.execute_rospec(plan.rospec)
+            irr = irr_by_tag(observations, t0, setup.reader.time_s)
+            irrs[mode] = float(
+                np.mean([irr.get(v, 0.0) for v in targets])
+            )
+        assert irrs["single"] > 1.5 * irrs["per-bitmask"]
+
+
+class TestTagwatchIntegration:
+    def test_live_loop_with_single_mode(self):
+        setup = build_lab(n_tags=16, n_mobile=1, seed=13, partition=True)
+        tagwatch = setup.tagwatch(
+            TagwatchConfig(phase2_duration_s=0.8, aispec_mode="single")
+        )
+        tagwatch.warm_up(14.0)
+        results = tagwatch.run(3)
+        final = results[-1]
+        assert not final.fallback
+        assert setup.mobile_epc_values <= final.target_epc_values
+        assert len(final.plan.rospec.ai_specs) == 1

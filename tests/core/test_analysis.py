@@ -1,0 +1,71 @@
+"""Tests for the closed-form performance analysis."""
+
+import pytest
+
+from repro.core.analysis import (
+    CyclePrediction,
+    breakeven_percent,
+    predict_cycle,
+    predicted_gain,
+)
+from repro.core.cost import PAPER_R420
+
+
+class TestPredictCycle:
+    def test_fields_consistent(self):
+        pred = predict_cycle(PAPER_R420, 100, 5, phase2_duration_s=5.0)
+        assert pred.cycle_duration_s == pytest.approx(
+            pred.phase1_duration_s + 5.0
+        )
+        assert pred.sweep_cost_s == pytest.approx(
+            5 * PAPER_R420.inventory_cost(1)
+        )
+
+    def test_no_targets(self):
+        pred = predict_cycle(PAPER_R420, 50, 0, phase2_duration_s=5.0)
+        assert pred.target_irr_hz < PAPER_R420.irr(50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predict_cycle(PAPER_R420, 5, 6, 5.0)
+        with pytest.raises(ValueError):
+            predict_cycle(PAPER_R420, 5, 1, 0.0)
+
+    def test_custom_sweep_cost(self):
+        cheap = predict_cycle(PAPER_R420, 100, 5, 5.0, sweep_cost_s=0.02)
+        naive = predict_cycle(PAPER_R420, 100, 5, 5.0)
+        assert cheap.gain > naive.gain
+
+
+class TestPredictedGain:
+    def test_matches_paper_naive_medians(self):
+        """The closed form with the paper's own constants lands on the
+        paper's measured naive gains: ~2.6x at 5%, ~1.5x at 10%, ~0.8x at
+        20% (Fig 18)."""
+        assert predicted_gain(PAPER_R420, 100, 5.0) == pytest.approx(2.6, abs=0.4)
+        assert predicted_gain(PAPER_R420, 100, 10.0) == pytest.approx(1.5, abs=0.4)
+        assert predicted_gain(PAPER_R420, 100, 20.0) == pytest.approx(0.8, abs=0.25)
+
+    def test_monotone_decreasing_in_percent(self):
+        gains = [
+            predicted_gain(PAPER_R420, 100, pct) for pct in (2, 5, 10, 20, 40)
+        ]
+        assert all(b < a for a, b in zip(gains, gains[1:]))
+
+    def test_percent_validation(self):
+        with pytest.raises(ValueError):
+            predicted_gain(PAPER_R420, 100, 0.0)
+
+
+class TestBreakeven:
+    def test_paper_twenty_percent_rule(self):
+        """Section 3's 'switch back beyond ~20%' corresponds to break-even
+        percentages of roughly 10-20% across deployment sizes."""
+        for n in (50, 100, 200, 400):
+            breakeven = breakeven_percent(PAPER_R420, n)
+            assert 8.0 <= breakeven <= 20.0
+
+    def test_breakeven_grows_with_population(self):
+        assert breakeven_percent(PAPER_R420, 400) > breakeven_percent(
+            PAPER_R420, 50
+        )

@@ -1,0 +1,117 @@
+"""Tests for candidate bitmask enumeration and the indexed table (Fig 10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmask import (
+    CandidateRow,
+    IndexedBitmaskTable,
+    indicator_bitmap,
+)
+from repro.gen2.epc import EPC, random_epc_population
+
+# Fig 9/10's six-bit population.
+POPULATION = [
+    EPC.from_bits("001110"),
+    EPC.from_bits("010010"),
+    EPC.from_bits("101100"),
+    EPC.from_bits("110110"),
+]
+
+
+class TestIndicatorBitmap:
+    def test_positions(self):
+        v = indicator_bitmap(4, [1, 3])
+        assert list(v) == [False, True, False, True]
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            indicator_bitmap(4, [4])
+
+
+class TestCandidateRows:
+    def test_full_epc_rows_present(self):
+        table = IndexedBitmaskTable(POPULATION)
+        rows = table.candidate_rows([0, 1, 2])
+        singles = [r for r in rows if r.covered_count == 1]
+        covered = {r.covered_indices()[0] for r in singles}
+        assert {0, 1, 2} <= covered
+
+    def test_multi_target_masks_found(self):
+        """Fig 9: targets 001110 and 010010 share '10' at pointer 4."""
+        table = IndexedBitmaskTable(POPULATION)
+        rows = table.candidate_rows([0, 1])
+        multi = [
+            r for r in rows if set(r.covered_indices()) >= {0, 1}
+        ]
+        assert multi  # at least one shared-window mask exists
+
+    def test_coverage_correctness(self):
+        table = IndexedBitmaskTable(POPULATION)
+        for row in table.candidate_rows([0, 1, 2]):
+            expected = [row.bitmask.covers(epc) for epc in POPULATION]
+            assert list(row.coverage) == expected
+
+    def test_identical_coverage_merged(self):
+        table = IndexedBitmaskTable(POPULATION)
+        rows = table.candidate_rows([0, 1, 2])
+        seen = set()
+        for row in rows:
+            key = row.coverage.tobytes()
+            assert key not in seen
+            seen.add(key)
+
+    def test_pruning_matches_exhaustive_for_greedy_purposes(self):
+        """Every multi-target coverage found exhaustively must also exist in
+        the pruned table (single-target masks are dominated by full-EPC)."""
+        epcs = random_epc_population(12, rng=3, length=16)
+        targets = [0, 1, 2, 3]
+        pruned = IndexedBitmaskTable(epcs, max_mask_length=16)
+        full = IndexedBitmaskTable(
+            epcs, max_mask_length=16, include_dominated=True
+        )
+        pruned_covers = {
+            row.coverage.tobytes() for row in pruned.candidate_rows(targets)
+        }
+        for row in full.candidate_rows(targets):
+            n_targets_covered = sum(row.coverage[t] for t in targets)
+            if n_targets_covered >= 2:
+                assert row.coverage.tobytes() in pruned_covers
+
+    def test_no_targets(self):
+        table = IndexedBitmaskTable(POPULATION)
+        assert table.candidate_rows([]) == []
+
+    def test_bad_target_index(self):
+        table = IndexedBitmaskTable(POPULATION)
+        with pytest.raises(IndexError):
+            table.candidate_rows([7])
+
+
+class TestPopulationUpdate:
+    def test_no_change_detected(self):
+        table = IndexedBitmaskTable(POPULATION)
+        assert not table.update_population(list(POPULATION))
+
+    def test_change_rebuilds(self):
+        table = IndexedBitmaskTable(POPULATION)
+        table.candidate_rows([0])
+        new_population = POPULATION[:3]
+        assert table.update_population(new_population)
+        rows = table.candidate_rows([0])
+        assert all(len(r.coverage) == 3 for r in rows)
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            IndexedBitmaskTable([EPC.from_bits("10"), EPC.from_bits("100")])
+
+    def test_coverage_of_arbitrary_mask(self):
+        table = IndexedBitmaskTable(POPULATION)
+        from repro.gen2.select import BitMask
+
+        coverage = table.coverage_of(BitMask.from_bits("10", 4))
+        assert list(coverage) == [True, True, False, True]
+
+    def test_invalid_max_length(self):
+        with pytest.raises(ValueError):
+            IndexedBitmaskTable(POPULATION, max_mask_length=0)

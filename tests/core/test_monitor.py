@@ -1,0 +1,60 @@
+"""Tests for the Tagwatch runtime monitor."""
+
+import pytest
+
+from repro.core import TagwatchConfig
+from repro.core.monitor import TagwatchMonitor
+from repro.experiments.harness import build_lab
+
+
+@pytest.fixture(scope="module")
+def monitored():
+    setup = build_lab(n_tags=12, n_mobile=1, seed=67, partition=True)
+    tagwatch = setup.tagwatch(TagwatchConfig(phase2_duration_s=0.6))
+    monitor = TagwatchMonitor(window=10)
+    monitor.attach(tagwatch)
+    tagwatch.warm_up(14.0)
+    tagwatch.run(5)
+    return setup, tagwatch, monitor
+
+
+class TestRecording:
+    def test_window_bounds(self):
+        monitor = TagwatchMonitor(window=3)
+        with pytest.raises(ValueError):
+            TagwatchMonitor(window=0)
+        with pytest.raises(ValueError):
+            monitor.snapshot()
+
+    def test_attach_records_cycles(self, monitored):
+        _, _, monitor = monitored
+        assert monitor.total_cycles == 5
+
+    def test_snapshot_fields(self, monitored):
+        setup, _, monitor = monitored
+        snap = monitor.snapshot()
+        assert snap.n_cycles == 5
+        assert 0.0 <= snap.fallback_fraction <= 1.0
+        assert snap.mean_targets >= 1.0
+        assert snap.mean_cycle_duration_s > 0.6
+        assert snap.p90_overhead_ms >= snap.p50_overhead_ms
+
+    def test_low_churn_in_steady_state(self, monitored):
+        _, _, monitor = monitored
+        assert monitor.snapshot().target_churn < 2.0
+
+    def test_irr_by_tag(self, monitored):
+        setup, _, monitor = monitored
+        irr = monitor.irr_by_tag()
+        mobile = next(iter(setup.mobile_epc_values))
+        statics = [
+            v for k, v in irr.items() if k not in setup.mobile_epc_values
+        ]
+        assert irr[mobile] > 2 * max(statics)
+
+    def test_wrapped_run_cycle_returns_result(self, monitored):
+        _, tagwatch, monitor = monitored
+        before = monitor.total_cycles
+        result = tagwatch.run_cycle()
+        assert result.phase1_observations
+        assert monitor.total_cycles == before + 1

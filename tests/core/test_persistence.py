@@ -1,0 +1,85 @@
+"""Tests for immobility-state checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core.motion import MotionAssessor
+from repro.core.persistence import (
+    assessor_state,
+    load_assessor,
+    restore_assessor,
+    save_assessor,
+)
+from repro.experiments.harness import build_lab
+
+
+@pytest.fixture(scope="module")
+def trained():
+    setup = build_lab(n_tags=8, n_mobile=1, seed=111, n_antennas=2)
+    assessor = MotionAssessor()
+    observations, _ = setup.reader.run_duration(25.0)
+    assessor.observe_all(observations)
+    assessor.assess()
+    return setup, assessor
+
+
+class TestRoundTrip:
+    def test_state_round_trip(self, trained):
+        _, assessor = trained
+        restored = restore_assessor(assessor_state(assessor))
+        assert restored.known_epc_values() == assessor.known_epc_values()
+        assert restored.shard_count() == assessor.shard_count()
+
+    def test_file_round_trip(self, trained, tmp_path):
+        _, assessor = trained
+        path = tmp_path / "state.json"
+        save_assessor(path, assessor)
+        restored = load_assessor(path)
+        assert restored.shard_count() == assessor.shard_count()
+
+    def test_mode_contents_preserved(self, trained):
+        _, assessor = trained
+        restored = restore_assessor(assessor_state(assessor))
+        key = next(iter(assessor._stacks))
+        original = assessor._stacks[key].sorted_modes()[0]
+        copy = restored._stacks[key].sorted_modes()[0]
+        assert copy.mean == original.mean
+        assert copy.std == original.std
+        assert copy.weight == original.weight
+        assert copy.best_run == original.best_run
+
+    def test_version_check(self, trained):
+        _, assessor = trained
+        state = assessor_state(assessor)
+        state["version"] = 99
+        with pytest.raises(ValueError):
+            restore_assessor(state)
+
+
+class TestWarmRestart:
+    def test_restored_assessor_skips_relearning(self, trained):
+        """A restored assessor classifies stationary tags immediately; a
+        fresh one flags everything as moving."""
+        setup, assessor = trained
+        restored = restore_assessor(assessor_state(assessor))
+        fresh = MotionAssessor()
+        observations, _ = setup.reader.run_duration(1.5)
+        for candidate in (restored, fresh):
+            candidate.observe_all(observations)
+        static_values = {
+            e.value for e in setup.epcs[1:]
+        }
+        restored_moving = {
+            epc
+            for epc, verdict in restored.assess().items()
+            if verdict.moving and epc in static_values
+        }
+        fresh_moving = {
+            epc
+            for epc, verdict in fresh.assess().items()
+            if verdict.moving and epc in static_values
+        }
+        # Warm: only vote noise (the paper's ~10% per-reading FPR
+        # over an 'any' window), far from flagging everything.
+        assert len(restored_moving) <= len(static_values) // 2
+        assert len(fresh_moving) == len(static_values)  # cold: everything

@@ -1,0 +1,79 @@
+"""Tests for the Phase II target scheduler."""
+
+import pytest
+
+from repro.core.cost import PAPER_R420
+from repro.core.scheduler import TargetScheduler
+from repro.gen2.epc import random_epc_population
+
+
+@pytest.fixture
+def population():
+    return random_epc_population(20, rng=5)
+
+
+class TestPlan:
+    def test_builds_rospec(self, population):
+        scheduler = TargetScheduler(PAPER_R420, rng=1)
+        targets = {population[0].value, population[1].value}
+        plan = scheduler.plan(population, targets, (0, 1), 5.0, rospec_id=7)
+        assert plan.rospec is not None
+        assert plan.rospec.rospec_id == 7
+        assert plan.rospec.duration_s == 5.0
+        assert len(plan.rospec.ai_specs) == len(plan.selection.bitmasks)
+
+    def test_covers_all_targets(self, population):
+        scheduler = TargetScheduler(PAPER_R420, rng=1)
+        targets = {population[i].value for i in range(4)}
+        plan = scheduler.plan(population, targets, (0,), 5.0)
+        for i in range(4):
+            assert any(
+                mask.covers(population[i])
+                for mask in plan.selection.bitmasks
+            )
+
+    def test_absent_targets_ignored(self, population):
+        scheduler = TargetScheduler(PAPER_R420, rng=1)
+        plan = scheduler.plan(population, {123456789}, (0,), 5.0)
+        assert plan.rospec is None
+        assert plan.target_epcs == []
+
+    def test_naive_method(self, population):
+        scheduler = TargetScheduler(PAPER_R420, method="naive")
+        targets = {population[i].value for i in range(3)}
+        plan = scheduler.plan(population, targets, (0,), 5.0)
+        assert plan.selection.method == "naive"
+        assert len(plan.selection.bitmasks) == 3
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            TargetScheduler(PAPER_R420, method="magic")
+
+    def test_planning_time_recorded(self, population):
+        scheduler = TargetScheduler(PAPER_R420)
+        plan = scheduler.plan(population, {population[0].value}, (0,), 5.0)
+        assert plan.planning_wall_s >= 0.0
+
+
+class TestAntennaHints:
+    def test_hints_restrict_ports(self, population):
+        scheduler = TargetScheduler(PAPER_R420, method="naive")
+        targets = {population[0].value, population[1].value}
+        hints = {population[0].value: {2}, population[1].value: {0, 3}}
+        plan = scheduler.plan(
+            population, targets, (0, 1, 2, 3), 5.0, antenna_hints=hints
+        )
+        ports = {spec.antenna_ids for spec in plan.rospec.ai_specs}
+        assert (2,) in ports
+        assert (0, 3) in ports
+
+    def test_unhinted_target_uses_all_ports(self, population):
+        scheduler = TargetScheduler(PAPER_R420, method="naive")
+        plan = scheduler.plan(
+            population,
+            {population[0].value},
+            (0, 1),
+            5.0,
+            antenna_hints={},
+        )
+        assert plan.rospec.ai_specs[0].antenna_ids == (0, 1)

@@ -1,0 +1,129 @@
+"""Integration tests for the Tagwatch middleware loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import Tagwatch, TagwatchConfig
+from repro.experiments.harness import build_lab
+
+
+def make_tagwatch(n_tags=12, n_mobile=1, seed=21, **config_kwargs):
+    setup = build_lab(
+        n_tags=n_tags, n_mobile=n_mobile, seed=seed, n_antennas=2
+    )
+    defaults = dict(phase2_duration_s=0.8)
+    defaults.update(config_kwargs)
+    return setup, setup.tagwatch(TagwatchConfig(**defaults))
+
+
+class TestCycleMechanics:
+    def test_cycle_produces_phases(self):
+        _, tagwatch = make_tagwatch()
+        result = tagwatch.run_cycle()
+        assert result.phase1_observations
+        assert result.phase2_observations
+        assert result.phase2_end_s > result.phase1_end_s > result.phase1_start_s
+
+    def test_cycles_indexed(self):
+        _, tagwatch = make_tagwatch()
+        results = tagwatch.run(3)
+        assert [r.index for r in results] == [0, 1, 2]
+
+    def test_run_requires_cycles(self):
+        _, tagwatch = make_tagwatch()
+        with pytest.raises(ValueError):
+            tagwatch.run(0)
+
+    def test_all_reads_delivered_to_history(self):
+        _, tagwatch = make_tagwatch()
+        result = tagwatch.run_cycle()
+        n_reads = len(result.phase1_observations) + len(
+            result.phase2_observations
+        )
+        assert tagwatch.history.total_reads == n_reads
+
+    def test_subscribers_receive_reads(self):
+        _, tagwatch = make_tagwatch()
+        received = []
+        tagwatch.subscribe(received.append)
+        result = tagwatch.run_cycle()
+        assert len(received) == len(result.phase1_observations) + len(
+            result.phase2_observations
+        )
+
+
+class TestAdaptiveBehaviour:
+    def test_initial_cycles_fall_back(self):
+        """All tags look mobile before the immobility models mature."""
+        _, tagwatch = make_tagwatch()
+        result = tagwatch.run_cycle()
+        assert result.fallback
+
+    def test_steady_state_targets_mobile_tag(self):
+        setup, tagwatch = make_tagwatch()
+        tagwatch.warm_up(12.0)
+        results = tagwatch.run(4)
+        final = results[-1]
+        assert not final.fallback
+        assert setup.mobile_epc_values <= final.target_epc_values
+        # The schedule must stay selective: far fewer targets than tags.
+        assert len(final.target_epc_values) <= 4
+
+    def test_mobile_tag_gets_higher_irr(self):
+        setup, tagwatch = make_tagwatch()
+        tagwatch.warm_up(12.0)
+        results = tagwatch.run(4)
+        t0 = results[1].phase1_start_s
+        t1 = results[-1].phase2_end_s
+        mobile_value = next(iter(setup.mobile_epc_values))
+        mobile_irr = tagwatch.history.irr(mobile_value, t0, t1).irr_hz
+        static_irrs = [
+            tagwatch.history.irr(e.value, t0, t1).irr_hz
+            for e in setup.epcs[1:]
+        ]
+        assert mobile_irr > 3 * float(np.mean(static_irrs))
+
+    def test_fallback_when_everything_moves(self):
+        setup, tagwatch = make_tagwatch(n_tags=6, n_mobile=4)
+        tagwatch.warm_up(10.0)
+        result = tagwatch.run_cycle()
+        assert result.fallback
+        assert "fraction" in result.fallback_reason or result.fallback_reason
+
+    def test_concerned_tag_always_scheduled(self):
+        setup, _ = make_tagwatch()
+        static_value = setup.epcs[-1].value
+        config = TagwatchConfig(phase2_duration_s=0.8).with_concerned(
+            [static_value]
+        )
+        tagwatch = setup.tagwatch(config)
+        tagwatch.warm_up(12.0)
+        results = tagwatch.run(3)
+        assert static_value in results[-1].target_epc_values
+
+    def test_naive_selection_method(self):
+        setup, _ = make_tagwatch()
+        config = TagwatchConfig(
+            phase2_duration_s=0.8, selection_method="naive"
+        )
+        tagwatch = setup.tagwatch(config)
+        tagwatch.warm_up(12.0)
+        result = tagwatch.run_cycle()
+        if not result.fallback:
+            assert result.plan.selection.method == "naive"
+
+
+class TestWarmUp:
+    def test_warm_up_returns_read_count(self):
+        _, tagwatch = make_tagwatch()
+        assert tagwatch.warm_up(2.0) > 0
+
+    def test_warm_up_validates_duration(self):
+        _, tagwatch = make_tagwatch()
+        with pytest.raises(ValueError):
+            tagwatch.warm_up(0.0)
+
+    def test_warm_up_feeds_history(self):
+        _, tagwatch = make_tagwatch()
+        tagwatch.warm_up(2.0)
+        assert tagwatch.history.total_reads > 0

@@ -1,0 +1,52 @@
+"""Tests for the design-choice ablation drivers."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestChannelKeying:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run_channel_keying(
+            n_tags=5, duration_s=40.0, warmup_s=25.0, seed=47
+        )
+
+    def test_keyed_models_control_fpr(self, result):
+        assert result.fpr_keyed < 0.05
+
+    def test_merged_models_worse(self, result):
+        assert result.fpr_merged > 2 * result.fpr_keyed
+
+    def test_report_renders(self, result):
+        assert "keying" in ablations.format_channel_keying(result)
+
+
+class TestVoteRule:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run_vote_rule(n_tags=12, n_cycles=4, seed=53)
+
+    def test_both_rules_detect_mobile(self, result):
+        for _, targeting_rate, _ in result.rows:
+            assert targeting_rate >= 0.75
+
+    def test_report_renders(self, result):
+        assert "vote" in ablations.format_vote_rule(result)
+
+
+class TestPhase2Sweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run_phase2_sweep(
+            durations_s=(0.5, 2.0), n_tags=12, seed=59
+        )
+
+    def test_longer_phase2_raises_irr(self, result):
+        assert result.mobile_irr_hz[-1] > result.mobile_irr_hz[0]
+
+    def test_longer_phase2_raises_latency(self, result):
+        assert result.detection_latency_s[-1] > result.detection_latency_s[0]
+
+    def test_report_renders(self, result):
+        assert "Phase II" in ablations.format_phase2_sweep(result)

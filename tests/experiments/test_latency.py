@@ -1,0 +1,26 @@
+"""Tests for the detection-latency driver."""
+
+import pytest
+
+from repro.experiments import latency
+
+
+@pytest.fixture(scope="module")
+def result():
+    return latency.run(phase2_durations_s=(0.5, 2.0), n_trials=3, seed=97)
+
+
+class TestLatency:
+    def test_latency_bounded_by_cycle(self, result):
+        for phase2, maximum in zip(
+            result.phase2_durations_s, result.max_latency_s
+        ):
+            # Worst case: onset right after a Phase I, caught at the next
+            # one — about one Phase II plus assessment slack.
+            assert maximum <= phase2 + 1.0
+
+    def test_longer_phase2_higher_latency(self, result):
+        assert result.mean_latency_s[-1] > result.mean_latency_s[0]
+
+    def test_report_renders(self, result):
+        assert "Detection latency" in latency.format_report(result)

@@ -1,0 +1,31 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments import report
+
+
+class TestRun:
+    def test_only_filter(self):
+        results = report.run(scale="smoke", only=["fig3"])
+        assert len(results) == 1
+        assert results[0].figure_id == "fig3"
+        assert "TrackPoint" in results[0].body
+        assert results[0].wall_s > 0
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            report.run(scale="huge")
+
+    def test_unknown_only(self):
+        with pytest.raises(ValueError):
+            report.run(scale="smoke", only=["fig99"])
+
+
+class TestMarkdown:
+    def test_document_shape(self):
+        results = report.run(scale="smoke", only=["fig3", "fig8"])
+        document = report.to_markdown(results, "smoke")
+        assert document.startswith("# Reproduction report")
+        assert document.count("## ") == 2
+        assert "```" in document

@@ -1,0 +1,72 @@
+"""Tests for Gen2 command messages."""
+
+import pytest
+
+from repro.gen2.commands import (
+    Ack,
+    Query,
+    QueryAdjust,
+    Select,
+    SelectAction,
+    SelectTarget,
+    select_all,
+    selects_cover_key,
+)
+from repro.gen2.epc import EPC, MemoryBank
+from repro.gen2.select import matches
+
+
+class TestSelect:
+    def test_mask_must_fit(self):
+        with pytest.raises(ValueError):
+            Select(MemoryBank.EPC, 0, 2, mask=4)
+
+    def test_negative_pointer_rejected(self):
+        with pytest.raises(ValueError):
+            Select(MemoryBank.EPC, -1, 2, mask=1)
+
+    def test_mask_bits(self):
+        s = Select(MemoryBank.EPC, 0, 4, mask=0b0101)
+        assert s.mask_bits() == "0101"
+
+    def test_zero_length_mask_bits(self):
+        assert select_all().mask_bits() == ""
+
+
+class TestSelectAll:
+    def test_matches_any_epc(self):
+        s = select_all()
+        assert matches(s, EPC.from_bits("1010"))
+        assert matches(s, EPC.from_bits("0101"))
+
+
+class TestQuery:
+    def test_frame_length(self):
+        assert Query(q=4).frame_length == 16
+
+    def test_q_range(self):
+        with pytest.raises(ValueError):
+            Query(q=16)
+        with pytest.raises(ValueError):
+            Query(q=-1)
+
+
+class TestQueryAdjust:
+    def test_q_range(self):
+        with pytest.raises(ValueError):
+            QueryAdjust(q=16)
+
+
+class TestAck:
+    def test_rn16_range(self):
+        with pytest.raises(ValueError):
+            Ack(rn16=1 << 16)
+        Ack(rn16=0)
+
+
+class TestCoverKey:
+    def test_stable_and_distinct(self):
+        a = (Select(MemoryBank.EPC, 0, 2, 1),)
+        b = (Select(MemoryBank.EPC, 0, 2, 2),)
+        assert selects_cover_key(a) == selects_cover_key(a)
+        assert selects_cover_key(a) != selects_cover_key(b)

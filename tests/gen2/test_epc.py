@@ -1,0 +1,134 @@
+"""Tests for EPC encoding and memory banks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gen2.epc import (
+    EPC,
+    MemoryBank,
+    TagMemory,
+    common_prefix_length,
+    random_epc_population,
+    sequential_epc_population,
+)
+
+
+class TestConstruction:
+    def test_value_must_fit(self):
+        with pytest.raises(ValueError):
+            EPC(4, length=2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EPC(-1, length=8)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            EPC(0, length=0)
+
+    def test_from_bits(self):
+        epc = EPC.from_bits("001110")
+        assert epc.value == 0b001110
+        assert epc.length == 6
+
+    def test_from_bits_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            EPC.from_bits("012")
+
+    def test_from_hex(self):
+        epc = EPC.from_hex("0xff")
+        assert epc.value == 255
+        assert epc.length == 8
+
+    def test_from_hex_empty_raises(self):
+        with pytest.raises(ValueError):
+            EPC.from_hex("")
+
+
+class TestBitAddressing:
+    """Gen2 convention: bit 0 is the MSB (paper Fig 9)."""
+
+    def test_bit_zero_is_msb(self):
+        epc = EPC.from_bits("100000")
+        assert epc.bit(0) == 1
+        assert epc.bit(5) == 0
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            EPC.from_bits("10").bit(2)
+
+    def test_bit_slice_paper_example(self):
+        # Fig 9(a): tag 001110 has bits 4..5 == "10".
+        epc = EPC.from_bits("001110")
+        assert epc.bit_slice(4, 2) == 0b10
+
+    def test_bit_slice_full(self):
+        epc = EPC.from_bits("1011")
+        assert epc.bit_slice(0, 4) == 0b1011
+
+    def test_bit_slice_past_end_raises(self):
+        with pytest.raises(IndexError):
+            EPC.from_bits("1011").bit_slice(3, 2)
+
+    def test_bit_slice_zero_length_raises(self):
+        with pytest.raises(ValueError):
+            EPC.from_bits("1011").bit_slice(0, 0)
+
+
+class TestFormatting:
+    def test_bits_round_trip(self):
+        epc = EPC.from_bits("010110")
+        assert epc.to_bits() == "010110"
+
+    def test_hex_padding(self):
+        assert EPC(1, 96).to_hex() == "0" * 23 + "1"
+
+    @given(st.integers(min_value=0, max_value=2**96 - 1))
+    def test_bits_round_trip_property(self, value):
+        epc = EPC(value, 96)
+        assert EPC.from_bits(epc.to_bits()) == epc
+
+
+class TestPopulations:
+    def test_random_population_unique(self):
+        epcs = random_epc_population(50, rng=1)
+        assert len({e.value for e in epcs}) == 50
+
+    def test_random_population_reproducible(self):
+        a = random_epc_population(5, rng=2)
+        b = random_epc_population(5, rng=2)
+        assert [e.value for e in a] == [e.value for e in b]
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            random_epc_population(-1)
+
+    def test_sequential(self):
+        epcs = sequential_epc_population(3, start=5)
+        assert [e.value for e in epcs] == [5, 6, 7]
+
+
+class TestCommonPrefix:
+    def test_identical(self):
+        epcs = [EPC.from_bits("1010"), EPC.from_bits("1010")]
+        assert common_prefix_length(epcs) == 4
+
+    def test_divergent_at_first_bit(self):
+        epcs = [EPC.from_bits("1010"), EPC.from_bits("0010")]
+        assert common_prefix_length(epcs) == 0
+
+    def test_partial(self):
+        epcs = [EPC.from_bits("1010"), EPC.from_bits("1001")]
+        assert common_prefix_length(epcs) == 2
+
+    def test_empty(self):
+        assert common_prefix_length([]) == 0
+
+
+class TestTagMemory:
+    def test_bank_selection(self):
+        memory = TagMemory(epc=EPC.from_bits("1010"))
+        assert memory.bank(MemoryBank.EPC).value == 0b1010
+        assert memory.bank(MemoryBank.TID).value == 0
+        assert memory.bank(MemoryBank.USER).value == 0
+        assert memory.bank(MemoryBank.RESERVED).value == 0

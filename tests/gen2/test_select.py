@@ -1,0 +1,128 @@
+"""Tests for bitmask semantics, including the paper's Fig 9 example."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gen2.commands import SelectAction
+from repro.gen2.epc import EPC
+from repro.gen2.select import (
+    BitMask,
+    apply_selects,
+    coverage,
+    matches,
+    union_selects,
+)
+
+# The four tags of Fig 9: three targets and one non-target.
+TARGET_1 = EPC.from_bits("001110")
+TARGET_2 = EPC.from_bits("010010")
+TARGET_3 = EPC.from_bits("101100")
+NON_TARGET = EPC.from_bits("110110")
+
+
+class TestBitMaskCovers:
+    def test_fig9a_s1_covers_targets_and_non_target(self):
+        # S1(10_2, 4, 2) covers 0011[10] and 0100[10] but collaterally also
+        # 1101[10] (the paper's "mistakenly covers" example).
+        s1 = BitMask.from_bits("10", 4)
+        assert s1.covers(TARGET_1)
+        assert s1.covers(TARGET_2)
+        assert s1.covers(NON_TARGET)
+        assert not s1.covers(TARGET_3)
+
+    def test_fig9b_optimal_selection_is_clean(self):
+        # S1(11_2, 2, 2) and S2(01_2, 0, 2) cover the three targets with no
+        # non-targets (Fig 9b).
+        s1 = BitMask.from_bits("11", 2)
+        s2 = BitMask.from_bits("01", 0)
+        covered = {
+            epc.value
+            for epc in (TARGET_1, TARGET_2, TARGET_3, NON_TARGET)
+            if s1.covers(epc) or s2.covers(epc)
+        }
+        assert covered == {TARGET_1.value, TARGET_2.value, TARGET_3.value}
+
+    def test_zero_length_covers_all(self):
+        assert BitMask(0, 0, 0).covers(TARGET_1)
+
+    def test_mask_past_end_does_not_match(self):
+        assert not BitMask(0b11, 5, 2).covers(TARGET_1)
+
+    def test_full_epc_exact(self):
+        mask = BitMask.full_epc(TARGET_1)
+        assert mask.covers(TARGET_1)
+        assert not mask.covers(TARGET_2)
+
+    def test_invalid_mask_value(self):
+        with pytest.raises(ValueError):
+            BitMask(4, 0, 2)
+
+    def test_zero_length_nonzero_mask(self):
+        with pytest.raises(ValueError):
+            BitMask(1, 0, 0)
+
+    def test_str_matches_paper_notation(self):
+        assert str(BitMask.from_bits("10", 5)) == "S(10_2, 5, 2)"
+
+
+class TestMatches:
+    def test_epc_bank(self):
+        select = BitMask.from_bits("00", 0).to_select()
+        assert matches(select, TARGET_1)
+        assert not matches(select, TARGET_3)
+
+
+class TestApplySelects:
+    def test_no_selects_means_everyone(self):
+        flags = apply_selects([], [TARGET_1, TARGET_2])
+        assert flags == [True, True]
+
+    def test_single_assert_deassert(self):
+        select = BitMask.from_bits("10", 4).to_select()
+        flags = apply_selects(
+            [select], [TARGET_1, TARGET_2, TARGET_3, NON_TARGET]
+        )
+        assert flags == [True, True, False, True]
+
+    def test_union_selects(self):
+        selects = union_selects(
+            [BitMask.from_bits("11", 2), BitMask.from_bits("01", 0)]
+        )
+        flags = apply_selects(
+            selects, [TARGET_1, TARGET_2, TARGET_3, NON_TARGET]
+        )
+        assert flags == [True, True, True, False]
+
+    def test_union_of_nothing(self):
+        assert union_selects([]) == []
+
+    def test_last_assert_deassert_wins(self):
+        s1 = BitMask.from_bits("0", 0).to_select()  # covers 0.....
+        s2 = BitMask.from_bits("1", 0).to_select()  # covers 1.....
+        flags = apply_selects([s1, s2], [TARGET_1, TARGET_3])
+        assert flags == [False, True]
+
+    def test_nothing_deassert(self):
+        keep = BitMask.from_bits("0", 0).to_select(
+            action=SelectAction.NOTHING_DEASSERT
+        )
+        flags = apply_selects(
+            [BitMask(0, 0, 0).to_select(), keep], [TARGET_1, TARGET_3]
+        )
+        assert flags == [True, False]
+
+
+class TestCoverage:
+    def test_indices(self):
+        population = [TARGET_1, TARGET_2, TARGET_3, NON_TARGET]
+        s1 = BitMask.from_bits("10", 4)
+        assert coverage(s1, population) == (0, 1, 3)
+
+
+@given(st.integers(min_value=0, max_value=2**24 - 1))
+def test_full_epc_mask_is_exact(value):
+    epc = EPC(value, 24)
+    other = EPC((value + 1) % 2**24, 24)
+    mask = BitMask.full_epc(epc)
+    assert mask.covers(epc)
+    assert not mask.covers(other)

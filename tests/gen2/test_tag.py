@@ -1,0 +1,89 @@
+"""Tests for the tag-side protocol state machine."""
+
+import pytest
+
+from repro.gen2.commands import Ack, Query, QueryAdjust, QueryRep
+from repro.gen2.epc import EPC
+from repro.gen2.select import BitMask
+from repro.gen2.tag import TagProtocolState, TagState
+
+
+def make_tag(bits="1010", seed=1):
+    return TagProtocolState(EPC.from_bits(bits), rng=seed)
+
+
+class TestSelect:
+    def test_matching_select_asserts_sl(self):
+        tag = make_tag()
+        tag.on_select(BitMask.from_bits("10", 0).to_select())
+        assert tag.sl
+
+    def test_non_matching_select_deasserts_sl(self):
+        tag = make_tag()
+        tag.sl = True
+        tag.on_select(BitMask.from_bits("01", 0).to_select())
+        assert not tag.sl
+
+
+class TestInventoryFlow:
+    def test_full_read_handshake(self):
+        tag = make_tag()
+        tag.on_select(BitMask(0, 0, 0).to_select())
+        rn16 = tag.on_query(Query(q=0))  # frame of 1 slot: replies at once
+        assert rn16 is not None
+        epc = tag.on_ack(Ack(rn16))
+        assert epc == tag.epc
+        assert tag.state == TagState.ACKNOWLEDGED
+
+    def test_wrong_rn16_not_acknowledged(self):
+        tag = make_tag()
+        tag.on_select(BitMask(0, 0, 0).to_select())
+        rn16 = tag.on_query(Query(q=0))
+        assert tag.on_ack(Ack((rn16 + 1) % 2**16)) is None
+
+    def test_unselected_tag_stays_silent(self):
+        tag = make_tag()
+        assert tag.on_query(Query(q=0)) is None
+
+    def test_query_rep_counts_down(self):
+        tag = make_tag(seed=3)
+        tag.on_select(BitMask(0, 0, 0).to_select())
+        reply = tag.on_query(Query(q=3))
+        hops = 0
+        while reply is None and hops < 10:
+            reply = tag.on_query_rep(QueryRep())
+            hops += 1
+        assert reply is not None
+
+    def test_collided_tag_backs_off(self):
+        tag = make_tag()
+        tag.on_select(BitMask(0, 0, 0).to_select())
+        tag.on_query(Query(q=0))
+        assert tag.state == TagState.REPLY
+        # No ACK arrives; the next QueryRep sends it back to arbitrate.
+        assert tag.on_query_rep(QueryRep()) is None
+        assert tag.state == TagState.ARBITRATE
+        assert tag.slot_counter == (1 << 15) - 1
+
+    def test_query_adjust_redraws(self):
+        tag = make_tag()
+        tag.on_select(BitMask(0, 0, 0).to_select())
+        tag.on_query(Query(q=4))
+        result = tag.on_query_adjust(QueryAdjust(q=0))
+        assert result is not None  # frame of 1 slot: must reply
+
+    def test_inventoried_flag_flips_after_ack(self):
+        tag = make_tag()
+        tag.on_select(BitMask(0, 0, 0).to_select())
+        rn16 = tag.on_query(Query(q=0))
+        tag.on_ack(Ack(rn16))
+        # Flag flipped to B: tag no longer participates in an A-targeted round.
+        assert not tag.participates(Query(q=0))
+
+    def test_reset_round_restores(self):
+        tag = make_tag()
+        tag.on_select(BitMask(0, 0, 0).to_select())
+        rn16 = tag.on_query(Query(q=0))
+        tag.on_ack(Ack(rn16))
+        tag.reset_round()
+        assert tag.participates(Query(q=0))

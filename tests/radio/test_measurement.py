@@ -1,0 +1,70 @@
+"""Tests for the (phase, RSS) measurement model."""
+
+import numpy as np
+import pytest
+
+from repro.radio.channel import backscatter_gain
+from repro.radio.measurement import NoiseModel, TagObservation, measure
+
+FREQ = 922e6
+
+
+def observe(distance_m, noise=None, seed=1, tag_offset=0.0, lo=0.0):
+    gain = backscatter_gain((0, 0, 0), (distance_m, 0, 0), FREQ)
+    return measure(gain, tag_offset, lo, noise or NoiseModel(), rng=seed)
+
+
+class TestMeasure:
+    def test_phase_in_range(self):
+        phase, _ = observe(2.0)
+        assert 0 <= phase < 2 * np.pi
+
+    def test_phase_quantised(self):
+        noise = NoiseModel(phase_noise_std_rad=0.0)
+        phase, _ = observe(2.0, noise)
+        quantum = noise.phase_quantum_rad
+        steps = phase / quantum
+        assert steps == pytest.approx(round(steps), abs=1e-6)
+
+    def test_rss_quantised_to_half_db(self):
+        _, rss = observe(2.0)
+        assert (rss * 2) == pytest.approx(round(rss * 2))
+
+    def test_rss_decreases_with_distance(self):
+        quiet = NoiseModel(rss_noise_std_db=0.0)
+        _, near = observe(1.0, quiet)
+        _, far = observe(4.0, quiet)
+        assert near > far
+
+    def test_tag_offset_shifts_phase(self):
+        quiet = NoiseModel(phase_noise_std_rad=0.0, phase_quantum_rad=0.0)
+        p0, _ = observe(2.0, quiet, tag_offset=0.0)
+        p1, _ = observe(2.0, quiet, tag_offset=1.0)
+        assert np.mod(p1 - p0, 2 * np.pi) == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_gain_rejected(self):
+        with pytest.raises(ValueError):
+            measure(0j, 0.0, 0.0, NoiseModel())
+
+
+class TestNoiseModel:
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(phase_noise_std_rad=-0.1)
+
+    def test_negative_quantum_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(rss_quantum_db=-0.5)
+
+
+class TestTagObservation:
+    def test_key(self):
+        obs = TagObservation(
+            epc=None,
+            time_s=0.0,
+            phase_rad=1.0,
+            rss_dbm=-50.0,
+            antenna_index=2,
+            channel_index=7,
+        )
+        assert obs.key() == (2, 7)

@@ -1,0 +1,114 @@
+"""Tests for LLRP tag reporting (ROReportSpec)."""
+
+import pytest
+
+from repro.gen2.epc import random_epc_population
+from repro.radio.constants import single_channel
+from repro.reader import (
+    LLRPClient,
+    ReportTrigger,
+    ROReportContentSelector,
+    ROReportSpec,
+    SimReader,
+    build_reports,
+)
+from repro.reader.llrp import AISpec, AISpecStopTrigger, ROSpec
+from repro.reader.reports import TagReportEntry
+from repro.world.motion import Stationary
+from repro.world.scene import Antenna, Scene, TagInstance
+
+
+def make_client(n=4, seed=1):
+    epcs = random_epc_population(n, rng=seed)
+    tags = [
+        TagInstance(epc=e, trajectory=Stationary((0.3 * i, 1.0, 0.8)))
+        for i, e in enumerate(epcs)
+    ]
+    scene = Scene(
+        [Antenna((0, 0, 1.5))], tags, channel_plan=single_channel(), seed=seed
+    )
+    client = LLRPClient(SimReader(scene, seed=seed + 1))
+    client.connect()
+    return client, epcs
+
+
+def rospec_with(report_spec, rospec_id=1):
+    return ROSpec(
+        rospec_id=rospec_id,
+        ai_specs=(AISpec((0,), (), AISpecStopTrigger(n_rounds=2)),),
+        report_spec=report_spec,
+    )
+
+
+class TestContentSelection:
+    def test_default_includes_everything(self, ):
+        client, _ = make_client()
+        spec = rospec_with(ROReportSpec())
+        client.add_rospec(spec)
+        client.enable_rospec(1)
+        observations, _ = client.start_rospec(1)
+        entry = TagReportEntry.from_observation(
+            observations[0], ROReportContentSelector()
+        )
+        assert entry.phase_rad is not None
+        assert entry.peak_rssi_dbm is not None
+        assert entry.timestamp_s is not None
+
+    def test_fields_withheld(self):
+        client, _ = make_client()
+        selector = ROReportContentSelector(
+            enable_phase=False, enable_peak_rssi=False
+        )
+        client.add_rospec(rospec_with(ROReportSpec(content=selector)))
+        client.enable_rospec(1)
+        observations, _ = client.start_rospec(1)
+        entry = TagReportEntry.from_observation(observations[0], selector)
+        assert entry.phase_rad is None
+        assert entry.peak_rssi_dbm is None
+        assert entry.epc_hex  # EPC always present
+
+
+class TestBatching:
+    def test_n_tag_reports_batches(self):
+        client, _ = make_client(n=4)
+        batches = []
+        client.add_entry_report_callback(batches.append)
+        client.add_rospec(
+            rospec_with(ROReportSpec(n_tag_reports=3))
+        )
+        client.enable_rospec(1)
+        observations, _ = client.start_rospec(1)
+        assert sum(len(b) for b in batches) == len(observations)
+        assert all(len(b) <= 3 for b in batches)
+
+    def test_end_of_rospec_single_batch(self):
+        client, _ = make_client(n=4)
+        batches = []
+        client.add_entry_report_callback(batches.append)
+        client.add_rospec(
+            rospec_with(
+                ROReportSpec(trigger=ReportTrigger.END_OF_ROSPEC)
+            )
+        )
+        client.enable_rospec(1)
+        observations, _ = client.start_rospec(1)
+        assert len(batches) == 1
+        assert len(batches[0]) == len(observations)
+
+    def test_no_report_spec_no_entry_callbacks(self):
+        client, _ = make_client()
+        batches = []
+        client.add_entry_report_callback(batches.append)
+        client.add_rospec(rospec_with(None))
+        client.enable_rospec(1)
+        client.start_rospec(1)
+        assert batches == []
+
+    def test_empty_observations(self):
+        assert build_reports([], ROReportSpec()) == []
+
+
+class TestValidation:
+    def test_n_tag_reports_positive(self):
+        with pytest.raises(ValueError):
+            ROReportSpec(n_tag_reports=0)

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_registered(self):
+        for fig in ("fig1", "fig2", "fig3", "fig8", "fig12", "fig13",
+                    "fig14", "fig15", "fig16", "fig17", "fig18"):
+            assert fig in FIGURES
+
+
+class TestCommands:
+    def test_figures_lists(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "fig18" in out
+
+    def test_unknown_figure_fails(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+
+    def test_predict(self, capsys):
+        assert main(["predict", "--tags", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "break-even" in out
+
+    def test_rospec(self, capsys):
+        assert main(["rospec", "--targets", "2", "--population", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "<ROSpec" in out
+        assert "C1G2TagInventoryMask" in out
+
+    def test_figure_smoke_fig3(self, capsys):
+        assert main(["figure", "fig3"]) == 0
+        assert "TrackPoint" in capsys.readouterr().out
+
+    def test_demo_small(self, capsys):
+        assert (
+            main(
+                [
+                    "demo", "--tags", "8", "--mobile", "1",
+                    "--cycles", "2", "--warmup", "8", "--phase2", "0.5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Tagwatch demo" in out

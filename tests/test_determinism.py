@@ -1,0 +1,56 @@
+"""Whole-experiment determinism: same seed, same numbers.
+
+A reproduction is only as good as its reproducibility; these tests re-run
+representative drivers twice and demand bit-identical results.
+"""
+
+import numpy as np
+
+from repro.experiments import fig02_irr, fig15_feasibility, fig17_cost
+from repro.experiments.harness import build_lab
+
+
+class TestDriverDeterminism:
+    def test_fig02(self):
+        kwargs = dict(tag_counts=(1, 5, 10), initial_qs=(4,), repeats=4, seed=3)
+        a = fig02_irr.run(**kwargs)
+        b = fig02_irr.run(**kwargs)
+        assert a.curves[0].irr_hz == b.curves[0].irr_hz
+        assert a.fitted.tau0_s == b.fitted.tau0_s
+
+    def test_fig15(self):
+        kwargs = dict(n_targets=2, duration_s=3.0, seed=19)
+        a = fig15_feasibility.run(**kwargs)
+        b = fig15_feasibility.run(**kwargs)
+        for scheme in ("read-all", "tagwatch", "naive"):
+            assert (
+                a.schemes[scheme].target_irr_hz
+                == b.schemes[scheme].target_irr_hz
+            )
+
+    def test_fig17_simulated_side(self):
+        """Wall-clock overheads differ run to run; everything in simulated
+        time must not."""
+        kwargs = dict(
+            n_tags=20, n_mobile=1, n_cycles=8, warmup_cycles=4,
+            phase2_duration_s=0.5, seed=23,
+        )
+        a = fig17_cost.run(**kwargs)
+        b = fig17_cost.run(**kwargs)
+        assert a.cycle_duration_s == b.cycle_duration_s
+
+
+class TestEndToEndDeterminism:
+    def test_tagwatch_run_bitwise_stable(self):
+        def one_run():
+            setup = build_lab(n_tags=15, n_mobile=1, seed=41, partition=True)
+            tagwatch = setup.tagwatch()
+            tagwatch.warm_up(10.0)
+            results = tagwatch.run(2)
+            return [
+                (r.phase1_start_s, r.phase2_end_s,
+                 tuple(sorted(r.target_epc_values)))
+                for r in results
+            ]
+
+        assert one_run() == one_run()

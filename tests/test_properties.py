@@ -1,0 +1,158 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin down invariants that unit tests only sample: Select semantics vs
+bitmask coverage, table coverage vs mask matching, greedy-cover soundness,
+inventory-engine bookkeeping, and cost-model fitting.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitmask import IndexedBitmaskTable
+from repro.core.cost import CostModel
+from repro.core.setcover import greedy_cover, naive_selection, select_bitmasks
+from repro.gen2.aloha import IdealDFSA, QAdaptive
+from repro.gen2.epc import EPC
+from repro.gen2.inventory import InventoryEngine
+from repro.gen2.select import BitMask, apply_selects, union_selects
+from repro.gen2.timing import R420_PROFILE
+
+# -- strategies -------------------------------------------------------------
+
+epc_values = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+@st.composite
+def populations(draw, min_size=2, max_size=10):
+    values = draw(
+        st.lists(
+            epc_values, min_size=min_size, max_size=max_size, unique=True
+        )
+    )
+    return [EPC(v, 16) for v in values]
+
+
+@st.composite
+def bitmasks(draw, epc_length=16):
+    length = draw(st.integers(min_value=0, max_value=epc_length))
+    pointer = draw(st.integers(min_value=0, max_value=epc_length - length))
+    mask = draw(st.integers(min_value=0, max_value=(1 << length) - 1)) if length else 0
+    return BitMask(mask, pointer, length)
+
+
+# -- Select semantics ---------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(populations(), st.lists(bitmasks(), min_size=1, max_size=4))
+def test_union_selects_equals_any_cover(population, masks):
+    """apply_selects over union_selects == logical OR of mask coverage."""
+    flags = apply_selects(union_selects(masks), population)
+    for epc, flag in zip(population, flags):
+        assert flag == any(mask.covers(epc) for mask in masks)
+
+
+@settings(max_examples=60, deadline=None)
+@given(populations(), bitmasks())
+def test_single_select_matches_cover(population, mask):
+    flags = apply_selects([mask.to_select()], population)
+    assert flags == [mask.covers(epc) for epc in population]
+
+
+# -- Indexed table -------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(populations(min_size=3, max_size=9), st.data())
+def test_table_coverage_consistent(population, data):
+    n_targets = data.draw(
+        st.integers(min_value=1, max_value=min(4, len(population)))
+    )
+    targets = list(range(n_targets))
+    table = IndexedBitmaskTable(population, max_mask_length=16)
+    for row in table.candidate_rows(targets):
+        expected = [row.bitmask.covers(epc) for epc in population]
+        assert list(row.coverage) == expected
+
+
+# -- Set cover ----------------------------------------------------------------
+
+MODEL = CostModel(tau0_s=0.019, tau_bar_s=0.00018)
+
+
+@settings(max_examples=40, deadline=None)
+@given(populations(min_size=3, max_size=9), st.data())
+def test_greedy_cover_sound_and_bounded(population, data):
+    n_targets = data.draw(
+        st.integers(min_value=1, max_value=min(4, len(population)))
+    )
+    targets = list(range(n_targets))
+    table = IndexedBitmaskTable(population, max_mask_length=16)
+    rows = table.candidate_rows(targets)
+    selection = select_bitmasks(
+        rows,
+        targets,
+        [population[i] for i in targets],
+        len(population),
+        MODEL,
+        rng=0,
+    )
+    # Sound: every target covered by some chosen mask.
+    for i in targets:
+        assert any(m.covers(population[i]) for m in selection.bitmasks)
+    # Bounded: never worse than naive.
+    naive = naive_selection([population[i] for i in targets], MODEL)
+    assert selection.total_cost_s <= naive.total_cost_s + 1e-12
+
+
+# -- Inventory engine -----------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.booleans(),
+)
+def test_inventory_round_invariants(n_tags, seed, with_replacement):
+    engine = InventoryEngine(
+        R420_PROFILE,
+        lambda: QAdaptive(initial_q=4),
+        rng=seed,
+        with_replacement=with_replacement,
+    )
+    log = engine.run_round(range(n_tags))
+    # Every participant reported exactly once.
+    assert sorted(r.tag_index for r in log.reads) == list(range(n_tags))
+    # Read times strictly increase and stay inside the round.
+    times = [r.time_s for r in log.reads]
+    assert all(b > a for a, b in zip(times, times[1:]))
+    assert all(log.start_time_s < t <= log.end_time_s for t in times)
+    # Time accounting: duration at least startup plus one slot per single.
+    assert log.duration_s >= R420_PROFILE.startup_cost
+    assert log.n_single >= n_tags
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=25), st.integers(min_value=0, max_value=10**6))
+def test_dfsa_slot_bookkeeping(n_tags, seed):
+    engine = InventoryEngine(
+        R420_PROFILE, IdealDFSA, rng=seed, with_replacement=False
+    )
+    log = engine.run_round(range(n_tags))
+    assert log.n_slots == log.n_empty + log.n_single + log.n_collision
+    assert log.n_single == n_tags  # no duplicates in S1 mode
+
+
+# -- Cost model ------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(min_value=1e-3, max_value=0.1),
+    st.floats(min_value=1e-5, max_value=1e-3),
+)
+def test_cost_fit_roundtrip(tau0, tau_bar):
+    truth = CostModel(tau0_s=tau0, tau_bar_s=tau_bar)
+    counts = [1, 2, 5, 10, 20, 40]
+    durations = [truth.inventory_cost(n) for n in counts]
+    fitted = CostModel.fit(counts, durations)
+    assert fitted.tau0_s == pytest.approx(tau0, rel=1e-5, abs=1e-9)
+    assert fitted.tau_bar_s == pytest.approx(tau_bar, rel=1e-5)

@@ -1,0 +1,81 @@
+"""Tests for JSONL trace persistence."""
+
+import pytest
+
+from repro.experiments.harness import build_lab
+from repro.traces.io import (
+    iter_observations,
+    load_observations,
+    observation_to_record,
+    record_to_observation,
+    save_observations,
+)
+
+
+@pytest.fixture
+def observations():
+    setup = build_lab(n_tags=5, n_mobile=1, seed=61, n_antennas=2)
+    obs, _ = setup.reader.run_duration(0.5)
+    return obs
+
+
+class TestRoundTrip:
+    def test_save_load(self, observations, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        n = save_observations(path, observations)
+        assert n == len(observations)
+        loaded = load_observations(path)
+        assert len(loaded) == len(observations)
+        for a, b in zip(observations, loaded):
+            assert a.epc.value == b.epc.value
+            assert a.time_s == pytest.approx(b.time_s)
+            assert a.phase_rad == pytest.approx(b.phase_rad)
+            assert a.rss_dbm == pytest.approx(b.rss_dbm)
+            assert a.antenna_index == b.antenna_index
+            assert a.channel_index == b.channel_index
+
+    def test_record_round_trip(self, observations):
+        obs = observations[0]
+        again = record_to_observation(observation_to_record(obs))
+        assert again.epc.value == obs.epc.value
+
+    def test_streaming(self, observations, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_observations(path, observations)
+        streamed = list(iter_observations(path))
+        assert len(streamed) == len(observations)
+
+
+class TestErrors:
+    def test_bad_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = ('{"t": 1.0, "epc": "ff", "phase": 0.1, "rss": -50.0, '
+                '"ant": 0, "ch": 0}')
+        path.write_text(good + "\nnot json\n")
+        with pytest.raises(ValueError, match="2"):
+            load_observations(path, epc_bits=8)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "short.jsonl"
+        path.write_text('{"t": 1.0, "epc": "ff"}\n')
+        with pytest.raises(ValueError, match="missing field"):
+            load_observations(path)
+
+    def test_blank_lines_skipped(self, observations, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        save_observations(path, observations[:2])
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(load_observations(path)) == 2
+
+
+class TestReplay:
+    def test_trace_replays_through_assessor(self, observations, tmp_path):
+        from repro.core import MotionAssessor
+
+        path = tmp_path / "trace.jsonl"
+        save_observations(path, observations)
+        assessor = MotionAssessor()
+        assessor.observe_all(iter_observations(path))
+        verdicts = assessor.assess()
+        assert len(verdicts) == 5

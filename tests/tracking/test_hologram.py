@@ -1,0 +1,93 @@
+"""Tests for the grid hologram localiser."""
+
+import numpy as np
+import pytest
+
+from repro.gen2.epc import random_epc_population
+from repro.radio.constants import single_channel
+from repro.reader import SimReader
+from repro.tracking.hologram import HologramLocalizer, TrackingConfig
+from repro.world.motion import Stationary
+from repro.world.scene import Antenna, Scene, TagInstance
+
+
+def static_setup(position=(0.2, 0.0, 0.8), seed=7):
+    epcs = random_epc_population(1, rng=42)
+    tags = [
+        TagInstance(epc=epcs[0], trajectory=Stationary(position),
+                    phase_offset_rad=1.0)
+    ]
+    antennas = [
+        Antenna((5, 5, 1.5)),
+        Antenna((-5, 5, 1.5)),
+        Antenna((-5, -5, 1.5)),
+        Antenna((5, -5, 1.5)),
+    ]
+    scene = Scene(antennas, tags, channel_plan=single_channel(), seed=seed)
+    reader = SimReader(scene, seed=seed + 1)
+    localizer = HologramLocalizer(
+        [a.position for a in antennas], scene.channel_plan
+    )
+    return reader, localizer, position
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrackingConfig(window_s=0.0)
+        with pytest.raises(ValueError):
+            TrackingConfig(search_radius_m=0.001, coarse_step_m=0.02)
+        with pytest.raises(ValueError):
+            TrackingConfig(velocity_step_mps=0.0)
+
+
+class TestCalibration:
+    def test_requires_observations(self):
+        _, localizer, _ = static_setup()
+        with pytest.raises(ValueError):
+            localizer.calibrate([], (0, 0, 0.8))
+
+    def test_learns_offsets(self):
+        reader, localizer, position = static_setup()
+        observations = []
+        for antenna in range(4):
+            observations += reader.inventory_round(antenna).observations
+        n = localizer.calibrate(observations, position)
+        assert n == 4
+        assert localizer.is_calibrated
+
+
+class TestStaticLocalization:
+    def test_recovers_known_position(self):
+        reader, localizer, position = static_setup()
+        calib = []
+        for antenna in range(4):
+            calib += reader.inventory_round(antenna).observations
+        localizer.calibrate(calib, position)
+        fresh = []
+        for antenna in range(4):
+            fresh += reader.inventory_round(antenna).observations
+        estimate = localizer.locate_window(fresh, prior=position)
+        error = np.linalg.norm(estimate.position[:2] - np.asarray(position)[:2])
+        assert error < 0.02
+
+    def test_too_few_reads_rejected(self):
+        reader, localizer, position = static_setup()
+        calib = []
+        for antenna in range(4):
+            calib += reader.inventory_round(antenna).observations
+        localizer.calibrate(calib, position)
+        with pytest.raises(ValueError):
+            localizer.locate_window(calib[:1], prior=position)
+
+    def test_uncalibrated_window_rejected(self):
+        reader, localizer, position = static_setup()
+        observations = []
+        for antenna in range(4):
+            observations += reader.inventory_round(antenna).observations
+        with pytest.raises(ValueError):
+            localizer.locate_window(observations, prior=position)
+
+    def test_track_empty_stream(self):
+        _, localizer, _ = static_setup()
+        assert localizer.track([], (0, 0, 0.8)) == []

@@ -1,0 +1,112 @@
+"""Tests for terminal plotting."""
+
+import pytest
+
+from repro.util.plots import ascii_plot, cdf_plot
+
+
+class TestAsciiPlot:
+    def test_renders_axes_and_legend(self):
+        out = ascii_plot(
+            {"a": ([0, 1, 2], [0.0, 1.0, 4.0])},
+            title="t",
+            x_label="x",
+            y_label="y",
+        )
+        assert out.splitlines()[0] == "t"
+        assert "o=a" in out
+        assert "+" in out  # axis corner
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = ascii_plot(
+            {
+                "first": ([0, 1], [0.0, 1.0]),
+                "second": ([0, 1], [1.0, 0.0]),
+            }
+        )
+        assert "o=first" in out and "x=second" in out
+
+    def test_constant_series_ok(self):
+        out = ascii_plot({"flat": ([0, 1, 2], [1.0, 1.0, 1.0])})
+        assert "o" in out
+
+    def test_single_point(self):
+        out = ascii_plot({"dot": ([1.0], [2.0])})
+        assert "o" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([], [])})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([1, 2], [1.0])})
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([0, 1], [0, 1])}, width=4, height=2)
+
+    def test_extremes_labelled(self):
+        out = ascii_plot({"a": ([0, 10], [5.0, 25.0])})
+        assert "25" in out and "5" in out and "10" in out
+
+
+class TestCdfPlot:
+    def test_monotone_rendering(self):
+        out = cdf_plot({"sample": [1.0, 2.0, 2.0, 3.0, 10.0]}, title="cdf")
+        assert "CDF" in out
+        assert out.splitlines()[0] == "cdf"
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_plot({"sample": []})
+
+
+class TestFigurePlots:
+    def test_fig02_plot(self):
+        from repro.experiments import fig02_irr
+
+        result = fig02_irr.run(
+            tag_counts=(1, 5, 10), initial_qs=(4,), repeats=3, seed=1
+        )
+        assert "Fig 2" in fig02_irr.format_plot(result)
+
+    def test_fig17_plot(self):
+        from repro.experiments import fig17_cost
+
+        result = fig17_cost.run(
+            n_tags=20, n_mobile=1, n_cycles=10, warmup_cycles=5,
+            phase2_duration_s=0.5, seed=23,
+        )
+        assert "CDF" in fig17_cost.format_plot(result)
+
+
+class TestMoreFigurePlots:
+    def test_fig12_plot(self):
+        from repro.experiments import fig12_roc
+
+        result = fig12_roc.run(
+            n_stationary=6,
+            n_people=1,
+            monitor_duration_s=20.0,
+            mobile_duration_s=8.0,
+            seed=11,
+        )
+        out = fig12_roc.format_plot(result)
+        assert "FPR" in out and "TPR" in out
+
+    def test_fig18_plot(self):
+        from repro.experiments import fig18_gain
+
+        result = fig18_gain.run(
+            percents=(5.0, 20.0),
+            populations=(24,),
+            n_cycles=4,
+            warmup_cycles=1,
+            phase2_duration_s=0.8,
+            seed=29,
+        )
+        out = fig18_gain.format_plot(result)
+        assert "tagwatch" in out and "read-all" in out

@@ -1,0 +1,59 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStream, derive_rng, make_rng
+
+
+class TestMakeRng:
+    def test_accepts_int_seed(self):
+        rng = make_rng(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_same_seed_same_draws(self):
+        assert make_rng(7).integers(0, 1000) == make_rng(7).integers(0, 1000)
+
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(1)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_fresh_entropy(self):
+        draws = {int(make_rng(None).integers(0, 2**63)) for _ in range(5)}
+        assert len(draws) > 1
+
+
+class TestDeriveRng:
+    def test_deterministic_per_name(self):
+        a = derive_rng(5, "channel").integers(0, 2**32)
+        b = derive_rng(5, "channel").integers(0, 2**32)
+        assert a == b
+
+    def test_different_names_differ(self):
+        a = derive_rng(5, "channel").integers(0, 2**32)
+        b = derive_rng(5, "mobility").integers(0, 2**32)
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(5, "x").integers(0, 2**32)
+        b = derive_rng(6, "x").integers(0, 2**32)
+        assert a != b
+
+
+class TestRngStream:
+    def test_child_reproducible_across_streams(self):
+        s1 = RngStream(9)
+        s2 = RngStream(9)
+        assert (
+            s1.child("a").integers(0, 2**32) == s2.child("a").integers(0, 2**32)
+        )
+
+    def test_child_seed_stable(self):
+        assert RngStream(3).child_seed("x") == RngStream(3).child_seed("x")
+
+    def test_child_seed_name_sensitive(self):
+        s = RngStream(3)
+        assert s.child_seed("x") != s.child_seed("y")
+
+    def test_random_seed_when_none(self):
+        assert isinstance(RngStream(None).seed, int)

@@ -1,0 +1,65 @@
+"""Tests for temporary tag blocking (Section 4.3 reading exceptions)."""
+
+import pytest
+
+from repro.gen2.epc import random_epc_population
+from repro.radio.constants import single_channel
+from repro.reader import SimReader
+from repro.world.motion import Stationary
+from repro.world.scene import Antenna, Scene, TagInstance
+
+
+def blocked_tag_scene(intervals, seed=1):
+    epcs = random_epc_population(2, rng=seed)
+    tags = [
+        TagInstance(
+            epc=epcs[0],
+            trajectory=Stationary((0.5, 1.0, 0.8)),
+            blocked_intervals=intervals,
+        ),
+        TagInstance(epc=epcs[1], trajectory=Stationary((1.0, 1.0, 0.8))),
+    ]
+    scene = Scene(
+        [Antenna((0, 0, 1.5))], tags, channel_plan=single_channel(), seed=seed
+    )
+    return scene, epcs
+
+
+class TestBlockedIntervals:
+    def test_validation(self):
+        epcs = random_epc_population(1, rng=1)
+        with pytest.raises(ValueError):
+            TagInstance(
+                epc=epcs[0],
+                trajectory=Stationary((0, 1, 0)),
+                blocked_intervals=((2.0, 1.0),),
+            )
+
+    def test_presence_respects_blocking(self):
+        scene, _ = blocked_tag_scene(((1.0, 2.0),))
+        tag = scene.tags[0]
+        assert tag.is_present(0.5)
+        assert not tag.is_present(1.5)
+        assert tag.is_present(2.5)
+
+    def test_blocked_tag_not_read(self):
+        scene, epcs = blocked_tag_scene(((0.0, 5.0),))
+        reader = SimReader(scene, seed=2)
+        observations, _ = reader.run_duration(1.0)
+        values = {obs.epc.value for obs in observations}
+        assert epcs[0].value not in values
+        assert epcs[1].value in values
+
+    def test_tag_returns_after_blockage(self):
+        scene, epcs = blocked_tag_scene(((0.0, 0.5),))
+        reader = SimReader(scene, seed=2)
+        observations, _ = reader.run_duration(1.5)
+        late = [o for o in observations if o.time_s > 0.6]
+        assert any(o.epc.value == epcs[0].value for o in late)
+
+    def test_multiple_intervals(self):
+        scene, _ = blocked_tag_scene(((0.0, 1.0), (2.0, 3.0)))
+        tag = scene.tags[0]
+        assert not tag.is_present(0.5)
+        assert tag.is_present(1.5)
+        assert not tag.is_present(2.5)
