@@ -1,12 +1,16 @@
 # Convenience targets; everything is plain pytest underneath.
 
-.PHONY: install test bench examples reproduce clean
+.PHONY: install test test-faults bench examples reproduce clean
 
 install:
 	python setup.py develop
 
 test:
 	pytest tests/
+
+test-faults:
+	pytest tests/faults tests/util/test_metrics.py \
+		tests/core/test_cover_properties.py tests/test_golden_traces.py
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

@@ -14,11 +14,16 @@ Commands
 ``rospec [--targets N --population N]``
     Plan a Phase II schedule for a random population and dump the ROSpec
     as LTK-style XML (the paper's Fig 11).
+``faults [--loss P --disconnect-at T ... --metrics-out F]``
+    Run Tagwatch under an injected fault plan with the resilient client and
+    export the structured metrics (retries, backoff, drops, IRR) as JSON;
+    ``--sweep`` charts a whole loss-rate degradation curve instead.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -210,6 +215,130 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_blackout(spec: str):
+    from repro.faults import AntennaBlackout
+
+    try:
+        antenna, start, end = spec.split(":")
+        return AntennaBlackout(int(antenna), float(start), float(end))
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"blackout must be ANTENNA:START:END, got {spec!r}"
+        ) from exc
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run Tagwatch under a fault plan; print and export degradation data."""
+    from repro.core import TagwatchMonitor
+    from repro.experiments import fault_sweep
+    from repro.faults import FaultPlan
+
+    if args.sweep:
+        rates = tuple(float(x) for x in args.sweep.split(","))
+        result = fault_sweep.run(
+            loss_rates=rates,
+            n_tags=args.tags,
+            n_mobile=args.mobile,
+            n_cycles=args.cycles,
+            warmup_s=args.warmup,
+            phase2_duration_s=args.phase2,
+            seed=args.seed,
+            disconnect_at_s=tuple(args.disconnect_at),
+        )
+        print(fault_sweep.format_report(result))
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            print(f"wrote {args.metrics_out}")
+        return 0
+
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = FaultPlan.from_dict(json.load(handle))
+    else:
+        plan = FaultPlan(
+            report_loss=args.loss,
+            burst_enter=args.burst_enter,
+            burst_exit=args.burst_exit,
+            phase_spike=args.phase_spike,
+            duplicate=args.duplicate,
+            reorder=args.reorder,
+            delay=args.delay,
+            disconnect_at_s=tuple(args.disconnect_at),
+            blackouts=tuple(args.blackout),
+        )
+    setup = build_lab(
+        n_tags=args.tags,
+        n_mobile=args.mobile,
+        seed=args.seed,
+        partition=True,
+        fault_plan=plan,
+    )
+    tagwatch = setup.tagwatch(
+        TagwatchConfig(
+            phase2_duration_s=args.phase2,
+            min_phase1_fraction=0.5,
+            population_grace_cycles=2,
+        )
+    )
+    tagwatch.warm_up(args.warmup)
+    monitor = TagwatchMonitor(window=max(args.cycles, 1))
+    rows = []
+    for result in tagwatch.run(args.cycles):
+        monitor.record(result)
+        rows.append(
+            [
+                result.index,
+                result.n_tags_seen,
+                len(result.target_epc_values),
+                "fallback" if result.fallback else "selective",
+                "degraded" if result.degraded else "ok",
+                len(result.phase1_observations),
+                len(result.phase2_observations),
+            ]
+        )
+    print(
+        format_table(
+            ["cycle", "seen", "targets", "mode", "health", "ph1", "ph2"],
+            rows,
+            title=(
+                f"Tagwatch under faults: loss={plan.report_loss:.0%}, "
+                f"{len(plan.disconnect_at_s)} disconnect(s)"
+            ),
+        )
+    )
+    metrics = setup.metrics
+    assert metrics is not None
+    snapshot = monitor.snapshot()
+    export = {
+        "plan": plan.to_dict(),
+        "run": {
+            "tags": args.tags,
+            "mobile": args.mobile,
+            "cycles": args.cycles,
+            "seed": args.seed,
+        },
+        "monitor": {
+            "fallback_fraction": round(snapshot.fallback_fraction, 9),
+            "degraded_fraction": round(snapshot.degraded_fraction, 9),
+            "mean_phase1_reads": round(snapshot.mean_phase1_reads, 9),
+            "mean_phase2_reads": round(snapshot.mean_phase2_reads, 9),
+        },
+        "irr_by_tag": {
+            str(k): round(v, 9)
+            for k, v in sorted(monitor.irr_by_tag().items())
+        },
+        "metrics": metrics.to_dict(),
+    }
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(export, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.metrics_out}")
+    else:
+        print(json.dumps(export["metrics"], indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_rospec(args: argparse.Namespace) -> int:
     """Plan a Phase II schedule and dump its ROSpec XML."""
     population = random_epc_population(args.population, rng=args.seed)
@@ -286,6 +415,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_rospec.add_argument("--targets", type=int, default=3)
     p_rospec.add_argument("--seed", type=int, default=1)
 
+    p_faults = sub.add_parser(
+        "faults", help="run Tagwatch under injected faults, export metrics"
+    )
+    p_faults.add_argument("--tags", type=int, default=20)
+    p_faults.add_argument("--mobile", type=int, default=1)
+    p_faults.add_argument("--cycles", type=int, default=4)
+    p_faults.add_argument("--phase2", type=float, default=1.0)
+    p_faults.add_argument("--warmup", type=float, default=8.0)
+    p_faults.add_argument("--seed", type=int, default=11)
+    p_faults.add_argument(
+        "--loss", type=float, default=0.2, help="iid report-loss probability"
+    )
+    p_faults.add_argument("--burst-enter", type=float, default=0.0)
+    p_faults.add_argument("--burst-exit", type=float, default=0.5)
+    p_faults.add_argument("--phase-spike", type=float, default=0.0)
+    p_faults.add_argument("--duplicate", type=float, default=0.0)
+    p_faults.add_argument("--reorder", type=float, default=0.0)
+    p_faults.add_argument("--delay", type=float, default=0.0)
+    p_faults.add_argument(
+        "--disconnect-at", type=float, action="append", default=[],
+        metavar="T", help="simulated time of a reader disconnect (repeatable)",
+    )
+    p_faults.add_argument(
+        "--blackout", type=_parse_blackout, action="append", default=[],
+        metavar="ANT:START:END", help="antenna outage window (repeatable)",
+    )
+    p_faults.add_argument(
+        "--plan", default="",
+        help="JSON file with a FaultPlan (overrides the individual knobs)",
+    )
+    p_faults.add_argument(
+        "--metrics-out", default="", help="write the JSON export here"
+    )
+    p_faults.add_argument(
+        "--sweep", default="",
+        help="comma-separated loss rates: run the degradation sweep instead",
+    )
+
     p_reproduce = sub.add_parser(
         "reproduce", help="run every figure and write one markdown report"
     )
@@ -307,6 +474,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "reproduce": cmd_reproduce,
     "figure": cmd_figure,
     "demo": cmd_demo,
+    "faults": cmd_faults,
     "predict": cmd_predict,
     "rospec": cmd_rospec,
 }

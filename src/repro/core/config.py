@@ -7,7 +7,7 @@ file; :func:`load_concerned_epcs` reads the simple one-EPC-per-line format.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import FrozenSet, Iterable, Optional, Tuple, Union
 
@@ -57,6 +57,21 @@ class TagwatchConfig:
     #: AISpec/round per mask) or "single" (all masks as C1G2Filters of one
     #: AISpec: each sweep is one union round with one start-up cost).
     aispec_mode: str = "per-bitmask"
+    #: Seed for the scheduler's tie-breaking draws.  Always set: an unseeded
+    #: scheduler makes greedy set-cover ties (and hence whole ROSpecs)
+    #: irreproducible, which silently breaks fault-plan replay.
+    scheduler_seed: int = 0
+    #: Graceful degradation: when Phase I returns fewer than this fraction
+    #: of the previously known population (lossy reports, reader stall),
+    #: the cycle is treated as low-confidence and Phase II falls back to
+    #: read-everything instead of trusting a partial assessment.
+    #: 0.0 disables the check (the seed behaviour).
+    min_phase1_fraction: float = 0.0
+    #: Partial-report tolerance: tags missing from Phase I stay in the
+    #: known population for this many cycles before being dropped, so a
+    #: single lossy inventory does not evict still-present tags from the
+    #: scheduler's coverage table.  0 keeps the strict seed behaviour.
+    population_grace_cycles: int = 0
 
     def __post_init__(self) -> None:
         if self.phase2_duration_s <= 0:
@@ -77,6 +92,10 @@ class TagwatchConfig:
             raise ValueError(
                 "min_phase2_duration_s must be in (0, phase2_duration_s]"
             )
+        if not 0.0 <= self.min_phase1_fraction <= 1.0:
+            raise ValueError("min_phase1_fraction must be in [0, 1]")
+        if self.population_grace_cycles < 0:
+            raise ValueError("population_grace_cycles must be non-negative")
 
     def with_concerned(
         self, epcs: Iterable[Union[EPC, int]]
@@ -85,22 +104,7 @@ class TagwatchConfig:
         values = set(self.concerned_epc_values)
         for item in epcs:
             values.add(item.value if isinstance(item, EPC) else int(item))
-        return TagwatchConfig(
-            phase2_duration_s=self.phase2_duration_s,
-            gmm=self.gmm,
-            cost_model=self.cost_model,
-            fallback_fraction=self.fallback_fraction,
-            max_mask_length=self.max_mask_length,
-            concerned_epc_values=frozenset(values),
-            vote_rule=self.vote_rule,
-            expire_after_s=self.expire_after_s,
-            key_by_channel=self.key_by_channel,
-            antenna_ids=self.antenna_ids,
-            selection_method=self.selection_method,
-            phase2_reads_target=self.phase2_reads_target,
-            min_phase2_duration_s=self.min_phase2_duration_s,
-            aispec_mode=self.aispec_mode,
-        )
+        return replace(self, concerned_epc_values=frozenset(values))
 
 
 def load_concerned_epcs(path: Union[str, Path]) -> FrozenSet[int]:

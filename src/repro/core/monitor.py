@@ -31,6 +31,14 @@ class MonitorSnapshot:
     p90_overhead_ms: float
     mean_collateral: float
     mean_phase2_reads: float
+    #: Fraction of cycles that ran degraded (failed reader operations or a
+    #: confidence-collapse fallback) — 0.0 on a healthy deployment.
+    degraded_fraction: float = 0.0
+    #: Mean Phase I reads per cycle; collapses towards zero under heavy
+    #: report loss, which makes it the first dashboard signal of trouble.
+    mean_phase1_reads: float = 0.0
+    #: Cycles whose Phase I delivered no readings at all (total blackout).
+    n_empty_phase1: int = 0
 
 
 class TagwatchMonitor:
@@ -104,6 +112,15 @@ class TagwatchMonitor:
             mean_collateral=float(np.mean(collaterals)),
             mean_phase2_reads=float(
                 np.mean([len(c.phase2_observations) for c in cycles])
+            ),
+            degraded_fraction=float(
+                np.mean([bool(c.degraded) for c in cycles])
+            ),
+            mean_phase1_reads=float(
+                np.mean([len(c.phase1_observations) for c in cycles])
+            ),
+            n_empty_phase1=sum(
+                1 for c in cycles if not c.phase1_observations
             ),
         )
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import TagwatchConfig
 from repro.core.history import ReadingHistory
@@ -32,8 +32,9 @@ from repro.core.scheduler import SchedulePlan, TargetScheduler
 from repro.gen2.epc import EPC
 from repro.gen2.inventory import InventoryLog
 from repro.radio.measurement import TagObservation
-from repro.reader.client import LLRPClient
+from repro.reader.client import LLRPClient, ReaderConnectionError
 from repro.reader.llrp import AISpec, AISpecStopTrigger, ROSpec
+from repro.util.rng import derive_rng
 
 ObservationCallback = Callable[[TagObservation], None]
 
@@ -57,6 +58,10 @@ class CycleResult:
     phase1_start_s: float
     phase1_end_s: float
     phase2_end_s: float
+    #: One of the cycle's reader operations failed even after the client's
+    #: retries (connection storm, circuit breaker open); the cycle completed
+    #: on whatever data survived.
+    degraded: bool = False
 
     @property
     def cycle_duration_s(self) -> float:
@@ -85,11 +90,20 @@ class Tagwatch:
             max_mask_length=config.max_mask_length,
             method=config.selection_method,
             aispec_mode=config.aispec_mode,
+            # An unseeded scheduler breaks end-to-end replay: greedy
+            # set-cover ties are resolved by random draw, so fresh entropy
+            # here makes whole ROSpecs differ between same-seed runs.
+            rng=derive_rng(config.scheduler_seed, "tagwatch.scheduler"),
         )
         self._subscribers: List[ObservationCallback] = []
         self._next_rospec_id = 1
         self._cycle_index = 0
         self._known_population: List[EPC] = []
+        #: EPC value -> (EPC, cycle index last seen); backs the population
+        #: grace window that tolerates partial Phase I reports.
+        self._population_seen: Dict[int, Tuple[EPC, int]] = {}
+        #: Metrics registry shared with a resilient client, when one is used.
+        self.metrics = getattr(client, "metrics", None)
 
     # ------------------------------------------------------------------
     def subscribe(self, callback: ObservationCallback) -> None:
@@ -112,12 +126,29 @@ class Tagwatch:
         self._next_rospec_id += 1
         return rospec_id
 
-    def _execute(self, rospec: ROSpec):
-        """add/enable/start/delete one ROSpec through the LLRP client."""
+    def _metric_inc(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _execute(
+        self, rospec: ROSpec
+    ) -> Tuple[List[TagObservation], InventoryLog, bool]:
+        """add/enable/start/delete one ROSpec through the LLRP client.
+
+        Returns ``(observations, log, ok)``.  A connection failure that
+        survives the client's own retries is absorbed here — the middleware
+        degrades (empty reports, ``ok=False``) instead of crashing the
+        deployment loop.
+        """
         self.client.add_rospec(rospec)
         self.client.enable_rospec(rospec.rospec_id)
         try:
-            return self.client.start_rospec(rospec.rospec_id)
+            reports, log = self.client.start_rospec(rospec.rospec_id)
+            return reports, log, True
+        except ReaderConnectionError:
+            self._metric_inc("tagwatch.failed_operations")
+            now = self.client.reader.time_s
+            return [], InventoryLog(start_time_s=now, end_time_s=now), False
         finally:
             self.client.delete_rospec(rospec.rospec_id)
 
@@ -143,12 +174,27 @@ class Tagwatch:
             duration_s=duration_s,
         )
 
-    def _update_population(self, observations: Sequence[TagObservation]) -> None:
-        """Track the current population from Phase I reads (EPC-sorted)."""
-        seen = {}
+    def _update_population(
+        self, observations: Sequence[TagObservation], cycle_index: int = 0
+    ) -> None:
+        """Track the current population from Phase I reads (EPC-sorted).
+
+        With ``population_grace_cycles > 0``, tags missing from this batch
+        linger for that many cycles before eviction — partial-report
+        tolerance, so one lossy inventory does not shrink the scheduler's
+        coverage table.
+        """
         for obs in observations:
-            seen[obs.epc.value] = obs.epc
-        self._known_population = [seen[v] for v in sorted(seen)]
+            self._population_seen[obs.epc.value] = (obs.epc, cycle_index)
+        grace = self.config.population_grace_cycles
+        self._population_seen = {
+            value: (epc, seen_at)
+            for value, (epc, seen_at) in self._population_seen.items()
+            if cycle_index - seen_at <= grace
+        }
+        self._known_population = [
+            self._population_seen[v][0] for v in sorted(self._population_seen)
+        ]
 
     # ------------------------------------------------------------------
     def warm_up(self, duration_s: float) -> int:
@@ -161,11 +207,11 @@ class Tagwatch:
         """
         if duration_s <= 0:
             raise ValueError("warm-up duration must be positive")
-        observations, _ = self._execute(self._read_all_rospec(duration_s))
+        observations, _, _ = self._execute(self._read_all_rospec(duration_s))
         self._deliver(observations)
         self.assessor.observe_all(observations)
         self.assessor.assess()  # close the pseudo-cycle, clearing votes
-        self._update_population(observations)
+        self._update_population(observations, self._cycle_index)
         return len(observations)
 
     def run_cycle(self) -> CycleResult:
@@ -176,7 +222,10 @@ class Tagwatch:
         phase1_start = reader.time_s
 
         # ---- Phase I: read everything once ----------------------------
-        phase1_obs, phase1_log = self._execute(self._read_all_rospec(None))
+        prev_population_size = len(self._known_population)
+        phase1_obs, phase1_log, phase1_ok = self._execute(
+            self._read_all_rospec(None)
+        )
         phase1_end = reader.time_s
         self._deliver(phase1_obs)
 
@@ -185,7 +234,7 @@ class Tagwatch:
         self.assessor.observe_all(phase1_obs)
         assessments = self.assessor.assess()
         self.assessor.expire(reader.time_s)
-        self._update_population(phase1_obs)
+        self._update_population(phase1_obs, cycle_index)
         moving = {
             epc for epc, verdict in assessments.items() if verdict.moving
         }
@@ -194,11 +243,29 @@ class Tagwatch:
         targets = moving | concerned
         assessment_wall = time.perf_counter() - assess_start
 
+        # ---- Confidence check (graceful degradation) --------------------
+        # A Phase I that saw far fewer tags than we know to exist is not an
+        # assessment, it is a symptom (report loss, reader stall); trusting
+        # it would schedule Phase II around missing evidence.
+        low_confidence = False
+        n_distinct = len({obs.epc.value for obs in phase1_obs})
+        floor = self.config.min_phase1_fraction
+        if floor > 0 and prev_population_size > 0:
+            if n_distinct < floor * prev_population_size:
+                low_confidence = True
+                self._metric_inc("tagwatch.confidence_fallbacks")
+
         # ---- Scheduling decision ----------------------------------------
         n_seen = max(1, len(assessments))
         fallback = False
         fallback_reason = ""
-        if not targets:
+        if low_confidence:
+            fallback = True
+            fallback_reason = (
+                f"phase I confidence collapsed: saw {n_distinct} of "
+                f"{prev_population_size} known tags"
+            )
+        elif not targets:
             fallback = True
             fallback_reason = "no targets"
         elif len(targets) / n_seen > self.config.fallback_fraction:
@@ -252,7 +319,7 @@ class Tagwatch:
         else:
             assert plan is not None and plan.rospec is not None
             phase2_rospec = plan.rospec
-        phase2_obs, phase2_log = self._execute(phase2_rospec)
+        phase2_obs, phase2_log, phase2_ok = self._execute(phase2_rospec)
         self._deliver(phase2_obs)
         # Phase II readings keep training the immobility models; their
         # motion votes roll into the *next* cycle's assessment, which is how
@@ -275,6 +342,7 @@ class Tagwatch:
             phase1_start_s=phase1_start,
             phase1_end_s=phase1_end,
             phase2_end_s=reader.time_s,
+            degraded=not (phase1_ok and phase2_ok) or low_confidence,
         )
 
     def run(self, n_cycles: int) -> List[CycleResult]:

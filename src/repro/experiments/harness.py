@@ -8,10 +8,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core import Tagwatch, TagwatchConfig
+from repro.faults import FaultPlan, FaultyReader
 from repro.gen2.epc import EPC, random_epc_population
 from repro.radio.constants import ChannelPlan, china_920_926, single_channel
 from repro.radio.measurement import NoiseModel, TagObservation
-from repro.reader import LLRPClient, SimReader
+from repro.reader import (
+    LLRPClient,
+    ResilientLLRPClient,
+    RetryPolicy,
+    SimReader,
+)
+from repro.util.metrics import MetricsRegistry
 from repro.util.rng import RngStream
 from repro.world import (
     AmbientObject,
@@ -55,14 +62,32 @@ class LabSetup:
     reader: SimReader
     epcs: List[EPC]
     mobile_indices: List[int]
+    #: Shared metrics registry; populated when the lab was built with a
+    #: fault plan (the injector and the resilient client both write here).
+    metrics: Optional[MetricsRegistry] = None
+    #: Retry policy for the resilient client; None selects the plain client.
+    retry_policy: Optional[RetryPolicy] = None
+    client_seed: int = 0
 
     @property
     def mobile_epc_values(self) -> set:
         return {self.epcs[i].value for i in self.mobile_indices}
 
     def client(self) -> LLRPClient:
-        """A connected LLRP client over this deployment's reader."""
-        client = LLRPClient(self.reader)
+        """A connected LLRP client over this deployment's reader.
+
+        Labs built with a fault plan get the resilient client (sharing the
+        lab's metrics registry); plain labs keep the seed-exact behaviour.
+        """
+        if self.retry_policy is not None:
+            client: LLRPClient = ResilientLLRPClient(
+                self.reader,
+                policy=self.retry_policy,
+                metrics=self.metrics,
+                seed=self.client_seed,
+            )
+        else:
+            client = LLRPClient(self.reader)
         client.connect()
         return client
 
@@ -83,10 +108,19 @@ def build_lab(
     turntable_center: Tuple[float, float, float] = (0.0, 0.0, 0.8),
     noise: Optional[NoiseModel] = None,
     partition: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> LabSetup:
     """The evaluation testbed: a tag wall plus mobile tags on a turntable.
 
     Mobile tags are the first ``n_mobile`` indices.
+
+    With a ``fault_plan``, the reader is a fault-injecting
+    :class:`~repro.faults.FaultyReader` (injector seed derived from
+    ``seed``) and :meth:`LabSetup.client` returns a
+    :class:`~repro.reader.ResilientLLRPClient` sharing one metrics
+    registry with the injector.  A ``FaultPlan.none()`` lab is
+    bit-identical to a plain one.
 
     With ``partition=True`` the deployment follows the paper's Section 7.2
     layout — "each antenna covers 40 tags": tags are clustered near their
@@ -158,12 +192,28 @@ def build_lab(
         noise=noise,
         seed=streams.child_seed("scene"),
     )
-    reader = SimReader(scene, seed=streams.child_seed("reader"))
+    if fault_plan is not None:
+        metrics: Optional[MetricsRegistry] = MetricsRegistry()
+        reader: SimReader = FaultyReader(
+            scene,
+            plan=fault_plan,
+            seed=streams.child_seed("reader"),
+            fault_seed=streams.child_seed("faults"),
+            metrics=metrics,
+        )
+        policy = retry_policy or RetryPolicy()
+    else:
+        metrics = None
+        reader = SimReader(scene, seed=streams.child_seed("reader"))
+        policy = retry_policy
     return LabSetup(
         scene=scene,
         reader=reader,
         epcs=epcs,
         mobile_indices=list(range(n_mobile)),
+        metrics=metrics,
+        retry_policy=policy,
+        client_seed=streams.child_seed("client") % (2**31),
     )
 
 

@@ -1,0 +1,20 @@
+"""Fault injection: deterministic adversity for the simulated deployment.
+
+- :mod:`repro.faults.plan` — the declarative, serialisable fault taxonomy;
+- :mod:`repro.faults.injector` — seeded realisation of a plan;
+- :mod:`repro.faults.reader` — a SimReader injecting at the radio boundary.
+
+See ``docs/faults.md`` for the taxonomy and the resilience knobs that pair
+with it on the client side (:mod:`repro.reader.resilience`).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import AntennaBlackout, FaultPlan
+from repro.faults.reader import FaultyReader
+
+__all__ = [
+    "AntennaBlackout",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyReader",
+]

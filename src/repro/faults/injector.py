@@ -1,0 +1,175 @@
+"""Deterministic realisation of a :class:`~repro.faults.plan.FaultPlan`.
+
+One injector instance owns an independent random stream *per fault channel*
+(loss, burst, phase, duplicate, delay, reorder), each derived from the
+injector seed by name — enabling one fault never perturbs the draws of
+another, and a disabled fault draws nothing at all.  That second property is
+what makes ``FaultPlan.none()`` a strict no-op: the injected run is
+bit-identical to an uninjected one.
+
+The injector is stateful (burst channel state, pending delayed reports,
+consumed disconnects) and must not be shared between readers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.radio.measurement import TagObservation
+from repro.util.circular import TWO_PI
+from repro.util.metrics import MetricsRegistry
+from repro.util.rng import RngStream
+
+
+class FaultInjector:
+    """Applies a fault plan to per-round report batches, deterministically.
+
+    Parameters
+    ----------
+    plan:
+        The declarative fault description.
+    seed:
+        Root seed of the injector's private random streams.
+    metrics:
+        Optional registry receiving ``faults.*`` counters; a private one is
+        created when omitted so callers can always read ``injector.metrics``.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.plan = plan
+        self.seed = int(seed)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        streams = RngStream(self.seed)
+        self._rng_loss = streams.child("faults.loss")
+        self._rng_burst = streams.child("faults.burst")
+        self._rng_phase = streams.child("faults.phase")
+        self._rng_duplicate = streams.child("faults.duplicate")
+        self._rng_delay = streams.child("faults.delay")
+        self._rng_reorder = streams.child("faults.reorder")
+        self._burst_bad = False
+        self._held: List[TagObservation] = []
+        self._pending_disconnects: List[float] = list(plan.disconnect_at_s)
+
+    # ------------------------------------------------------------------
+    # Connection faults
+    # ------------------------------------------------------------------
+    def take_disconnect(self, start_s: float, end_s: float) -> Optional[float]:
+        """Earliest scheduled disconnect inside (start_s, end_s], consumed.
+
+        Returns the disconnect time, or ``None`` when the window is clear.
+        Each scheduled disconnect fires exactly once per injector lifetime.
+        """
+        for i, t in enumerate(self._pending_disconnects):
+            if start_s < t <= end_s:
+                del self._pending_disconnects[i]
+                self.metrics.counter("faults.disconnects").inc()
+                return t
+            if t > end_s:
+                break
+        return None
+
+    @property
+    def pending_disconnects(self) -> Sequence[float]:
+        return tuple(self._pending_disconnects)
+
+    # ------------------------------------------------------------------
+    # Report faults
+    # ------------------------------------------------------------------
+    def apply_round(
+        self, observations: Sequence[TagObservation]
+    ) -> List[TagObservation]:
+        """Run one round's reports through every enabled report fault.
+
+        Held-back (delayed) reports from earlier rounds are flushed into
+        this batch before reordering, matching an LLRP reader that buffers
+        undelivered RO_ACCESS_REPORTs.
+        """
+        plan = self.plan
+        out: List[TagObservation] = []
+        # Reports held back in *earlier* rounds are due now; reports the
+        # delay fault holds below wait for the round after this one.
+        flushed, self._held = self._held, []
+        self.metrics.counter("faults.reports_in").inc(len(observations))
+
+        for obs in observations:
+            if self._blacked_out(obs):
+                self.metrics.counter("faults.dropped_blackout").inc()
+                continue
+            if plan.burst_enter > 0 and self._burst_drop():
+                self.metrics.counter("faults.dropped_burst").inc()
+                continue
+            if plan.report_loss > 0 and (
+                self._rng_loss.random() < plan.report_loss
+            ):
+                self.metrics.counter("faults.dropped_loss").inc()
+                continue
+            if plan.phase_spike > 0 and (
+                self._rng_phase.random() < plan.phase_spike
+            ):
+                obs = self._spike_phase(obs)
+                self.metrics.counter("faults.phase_spikes").inc()
+            out.append(obs)
+            if plan.duplicate > 0 and (
+                self._rng_duplicate.random() < plan.duplicate
+            ):
+                out.append(obs)
+                self.metrics.counter("faults.duplicates").inc()
+
+        if plan.delay > 0:
+            kept: List[TagObservation] = []
+            for obs in out:
+                if self._rng_delay.random() < plan.delay:
+                    self._held.append(obs)
+                    self.metrics.counter("faults.delayed").inc()
+                else:
+                    kept.append(obs)
+            out = kept
+        if flushed:
+            # Flush older reports ahead of the fresh batch.
+            out = flushed + out
+
+        if plan.reorder > 0 and len(out) > 1 and (
+            self._rng_reorder.random() < plan.reorder
+        ):
+            permutation = self._rng_reorder.permutation(len(out))
+            out = [out[int(i)] for i in permutation]
+            self.metrics.counter("faults.reordered_rounds").inc()
+
+        self.metrics.counter("faults.reports_out").inc(len(out))
+        return out
+
+    def flush_held(self) -> List[TagObservation]:
+        """Hand back any still-buffered delayed reports (end of run)."""
+        held, self._held = self._held, []
+        return held
+
+    # ------------------------------------------------------------------
+    def _blacked_out(self, obs: TagObservation) -> bool:
+        return any(
+            b.covers(obs.antenna_index, obs.time_s) for b in self.plan.blackouts
+        )
+
+    def _burst_drop(self) -> bool:
+        """Advance the Gilbert-Elliott channel one report; True = erased."""
+        if not self._burst_bad:
+            if self._rng_burst.random() < self.plan.burst_enter:
+                self._burst_bad = True
+        if self._burst_bad:
+            if self._rng_burst.random() < self.plan.burst_exit:
+                self._burst_bad = False
+            return True
+        return False
+
+    def _spike_phase(self, obs: TagObservation) -> TagObservation:
+        spike = self._rng_phase.normal(0.0, self.plan.phase_spike_std_rad)
+        phase = float(np.mod(obs.phase_rad + spike, TWO_PI))
+        return replace(obs, phase_rad=phase)

@@ -1,0 +1,90 @@
+"""A :class:`~repro.reader.reader.SimReader` with faults at the radio edge.
+
+``FaultyReader`` wraps every inventory round with a
+:class:`~repro.faults.injector.FaultInjector`: tag reports may be dropped
+(iid, burst, or antenna blackout), perturbed (phase spikes), duplicated,
+delayed into the next round, or reordered — and scheduled connection drops
+surface as :class:`~repro.reader.client.ReaderConnectionError` raised out of
+the round, exactly where a broken LLRP/TCP socket would surface in sllurp.
+
+Because faulting happens *after* the slot-accurate engine ran, the physics
+(clock, channel hopping, slot draws) is untouched: a ``FaultPlan.none()``
+reader is bit-identical to a plain ``SimReader`` with the same seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.gen2.commands import Select
+from repro.gen2.timing import LinkTiming, R420_PROFILE
+from repro.reader.client import ReaderConnectionError
+from repro.reader.reader import RoundResult, SimReader
+from repro.util.metrics import MetricsRegistry
+from repro.world.scene import Scene
+
+
+class FaultyReader(SimReader):
+    """SimReader whose report stream passes through a fault injector."""
+
+    def __init__(
+        self,
+        scene: Scene,
+        plan: FaultPlan,
+        timing: LinkTiming = R420_PROFILE,
+        seed: int = 0,
+        fault_seed: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(scene, timing=timing, seed=seed, **kwargs)
+        self.injector = FaultInjector(
+            plan,
+            seed=self._streams.child_seed("faults") if fault_seed is None else fault_seed,
+            metrics=metrics,
+        )
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.injector.metrics
+
+    # ------------------------------------------------------------------
+    def inventory_round(
+        self,
+        antenna_index: int,
+        selects: Sequence[Select] = (),
+        max_duration_s: Optional[float] = None,
+    ) -> RoundResult:
+        if self.injector.plan.is_noop:
+            return super().inventory_round(antenna_index, selects, max_duration_s)
+        round_start_s = self.time_s
+        # Suppress the base class's per-report callbacks: consumers must
+        # only ever see the post-fault report stream.
+        callbacks, self._report_callbacks = self._report_callbacks, []
+        try:
+            result = super().inventory_round(
+                antenna_index, selects, max_duration_s
+            )
+        finally:
+            self._report_callbacks = callbacks
+
+        dropped_at = self.injector.take_disconnect(round_start_s, self.time_s)
+        if dropped_at is not None:
+            # Everything this operation buffered is in flight on a dead
+            # socket; the client sees a transport error, not reports.
+            self.injector.metrics.counter(
+                "faults.reports_lost_disconnect"
+            ).inc(len(result.observations))
+            raise ReaderConnectionError(
+                f"reader connection dropped at t={dropped_at:.3f}s"
+            )
+
+        observations: List = self.injector.apply_round(result.observations)
+        for obs in observations:
+            for callback in callbacks:
+                callback(obs)
+        return RoundResult(
+            observations, result.log, result.antenna_index, result.channel_index
+        )

@@ -1,6 +1,11 @@
 """Reader emulation: LLRP message layer, the simulated R420, and a client."""
 
-from repro.reader.client import LLRPClient, ReaderState
+from repro.reader.client import (
+    LLRPClient,
+    LLRPError,
+    ReaderConnectionError,
+    ReaderState,
+)
 from repro.reader.llrp import (
     AISpec,
     AISpecStopTrigger,
@@ -10,6 +15,11 @@ from repro.reader.llrp import (
     rospec_to_xml,
 )
 from repro.reader.reader import SimReader
+from repro.reader.resilience import (
+    CircuitOpenError,
+    ResilientLLRPClient,
+    RetryPolicy,
+)
 from repro.reader.reports import (
     ReportTrigger,
     ROReportContentSelector,
@@ -22,7 +32,12 @@ __all__ = [
     "AISpec",
     "AISpecStopTrigger",
     "C1G2Filter",
+    "CircuitOpenError",
     "LLRPClient",
+    "LLRPError",
+    "ReaderConnectionError",
+    "ResilientLLRPClient",
+    "RetryPolicy",
     "ROReportContentSelector",
     "ROReportSpec",
     "ROSpec",

@@ -33,6 +33,16 @@ class LLRPError(RuntimeError):
     """Protocol-level failure (bad state transition, unknown ROSpec, ...)."""
 
 
+class ReaderConnectionError(LLRPError):
+    """The reader connection dropped mid-operation (transport failure).
+
+    Raised by the fault-injecting reader when a scheduled disconnect fires,
+    and re-raised by :class:`~repro.reader.resilience.ResilientLLRPClient`
+    once its retry budget (or circuit breaker) is exhausted.  In-flight tag
+    reports of the interrupted operation are lost, as over real LLRP/TCP.
+    """
+
+
 class LLRPClient:
     """Synchronous LLRP client bound to a simulated reader.
 
@@ -124,7 +134,7 @@ class LLRPClient:
         if not self._enabled[rospec_id]:
             raise LLRPError(f"ROSpec {rospec_id} is not enabled")
         rospec = self._rospecs[rospec_id]
-        reports, log = self.reader.execute_rospec(rospec)
+        reports, log = self._run_rospec(rospec)
         for callback in self._callbacks:
             callback(reports)
         if rospec.report_spec is not None and self._entry_callbacks:
@@ -134,6 +144,12 @@ class LLRPClient:
                 for callback in self._entry_callbacks:
                     callback(batch)
         return reports, log
+
+    def _run_rospec(
+        self, rospec: ROSpec
+    ) -> Tuple[List[TagObservation], InventoryLog]:
+        """Hand one ROSpec to the reader; subclasses add retry semantics."""
+        return self.reader.execute_rospec(rospec)
 
     def rospec_ids(self) -> List[int]:
         """Ids of all registered ROSpecs, sorted."""

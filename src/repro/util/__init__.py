@@ -10,6 +10,13 @@ from repro.util.circular import (
     circular_std,
     wrap_phase,
 )
+from repro.util.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+)
 from repro.util.rng import RngStream, derive_rng, make_rng
 from repro.util.stats import (
     Summary,
@@ -21,8 +28,13 @@ from repro.util.stats import (
 from repro.util.tables import format_series, format_table
 
 __all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "RngStream",
     "Summary",
+    "merge_registries",
     "cdf_points",
     "circular_distance",
     "circular_mean",

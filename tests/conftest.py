@@ -1,0 +1,20 @@
+"""Shared pytest configuration for the test suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    """Register ``--update-golden``: regenerate golden-trace files in place."""
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current implementation "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should rewrite golden files instead of asserting."""
+    return request.config.getoption("--update-golden")

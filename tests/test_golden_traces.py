@@ -1,0 +1,142 @@
+"""Golden-trace regression tests: byte-stable replay of seeded deployments.
+
+Each scenario runs a fully seeded deployment (clean, and faulted) and
+serialises what the engine produced — per-cycle decisions, the complete
+observation trace, and the metrics export — into canonical JSON.  The test
+asserts the serialisation is *byte-identical* to the checked-in golden file,
+which pins down both behaviour and determinism: any change to RNG plumbing,
+fault draws, scheduling, or float rounding shows up as a diff.
+
+Regenerate after an intentional behaviour change with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import TagwatchConfig
+from repro.experiments.harness import build_lab
+from repro.faults import FaultPlan
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _obs_row(obs):
+    """One observation as a stable JSON row (floats rounded to 9 places)."""
+    return [
+        format(obs.epc.value, "x"),
+        round(obs.time_s, 9),
+        round(obs.phase_rad, 9),
+        round(obs.rss_dbm, 9),
+        obs.antenna_index,
+        obs.channel_index,
+    ]
+
+
+def _cycle_record(result):
+    """One CycleResult as a stable JSON object."""
+    return {
+        "index": result.index,
+        "fallback": result.fallback,
+        "fallback_reason": result.fallback_reason,
+        "degraded": result.degraded,
+        "targets": sorted(format(v, "x") for v in result.target_epc_values),
+        "n_tags_seen": result.n_tags_seen,
+        "phase1_start_s": round(result.phase1_start_s, 9),
+        "phase1_end_s": round(result.phase1_end_s, 9),
+        "phase2_end_s": round(result.phase2_end_s, 9),
+        "phase1_observations": [_obs_row(o) for o in result.phase1_observations],
+        "phase2_observations": [_obs_row(o) for o in result.phase2_observations],
+    }
+
+
+def _run_scenario(fault_plan):
+    """Run the canonical small deployment and serialise everything it did."""
+    setup = build_lab(
+        n_tags=8,
+        n_mobile=1,
+        seed=97,
+        partition=True,
+        fault_plan=fault_plan,
+    )
+    tagwatch = setup.tagwatch(
+        TagwatchConfig(
+            phase2_duration_s=0.5,
+            min_phase1_fraction=0.5,
+            population_grace_cycles=2,
+        )
+    )
+    tagwatch.warm_up(4.0)
+    cycles = [tagwatch.run_cycle() for _ in range(3)]
+    payload = {
+        "scenario": {
+            "n_tags": 8,
+            "n_mobile": 1,
+            "seed": 97,
+            "fault_plan": fault_plan.to_dict() if fault_plan else None,
+        },
+        "cycles": [_cycle_record(c) for c in cycles],
+    }
+    if setup.metrics is not None:
+        payload["metrics"] = setup.metrics.to_dict()
+    return payload
+
+
+def _canonical(payload):
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _check_golden(name, payload, update):
+    path = GOLDEN_DIR / f"{name}.json"
+    text = _canonical(payload)
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        return
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path} missing; generate it with --update-golden"
+        )
+    assert path.read_text() == text, (
+        f"{name}: trace diverged from golden file; if the change is "
+        "intentional, regenerate with --update-golden"
+    )
+
+
+def test_golden_clean_run(update_golden):
+    """The fault-free deployment replays byte-identically."""
+    _check_golden("tagwatch_clean", _run_scenario(None), update_golden)
+
+
+def test_golden_faulted_run(update_golden):
+    """A lossy + disconnecting deployment replays byte-identically."""
+    plan = FaultPlan(
+        report_loss=0.15,
+        phase_spike=0.05,
+        duplicate=0.05,
+        disconnect_at_s=(5.0,),
+    )
+    _check_golden("tagwatch_faulted", _run_scenario(plan), update_golden)
+
+
+def test_golden_noop_plan_matches_clean(update_golden):
+    """FaultPlan.none() produces the same trace as no plan at all.
+
+    The injector and resilient client are in the loop but must draw nothing:
+    the acceptance criterion that a zero plan is a strict no-op.
+    """
+    del update_golden  # this test compares two live runs, not a file
+    clean = _run_scenario(None)
+    noop = _run_scenario(FaultPlan.none())
+    assert clean["cycles"] == noop["cycles"]
+
+
+def test_scenario_is_deterministic():
+    """Two fresh runs of the faulted scenario are byte-identical."""
+    plan = FaultPlan(report_loss=0.2, disconnect_at_s=(5.0,))
+    first = _canonical(_run_scenario(plan))
+    second = _canonical(_run_scenario(plan))
+    assert first == second
