@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest underneath.
 
-.PHONY: install test test-faults bench examples reproduce clean
+.PHONY: install test test-faults bench bench-smoke bench-micro examples reproduce clean
 
 install:
 	python setup.py develop
@@ -13,6 +13,13 @@ test-faults:
 		tests/core/test_cover_properties.py tests/test_golden_traces.py
 
 bench:
+	python -m repro bench --name all --scale smoke
+
+bench-smoke:
+	python -m repro bench --name fig02 --scale smoke \
+		--trace-out trace_fig02.json --out-dir .
+
+bench-micro:
 	pytest benchmarks/ --benchmark-only -s
 
 examples:

@@ -18,6 +18,14 @@ Commands
     Run Tagwatch under an injected fault plan with the resilient client and
     export the structured metrics (retries, backoff, drops, IRR) as JSON;
     ``--sweep`` charts a whole loss-rate degradation curve instead.
+``bench [--name fig02,fig18 --scale smoke|paper --out-dir D]``
+    Run the profiling workloads under tracing, print the per-phase time
+    budget, and write one ``BENCH_<name>.json`` per workload.
+
+Every subcommand accepts ``--trace-out F`` (simulation-time trace; Chrome
+trace-event JSON by default, ``--trace-format jsonl`` for the event log)
+and ``--metrics-out F`` (telemetry registry; JSON, or Prometheus text when
+``F`` ends in ``.prom``/``.txt``).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import ExitStack
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import TagwatchConfig
@@ -45,8 +54,20 @@ from repro.experiments import (
 )
 from repro.experiments.harness import build_lab
 from repro.gen2.epc import random_epc_population
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    get_logger,
+    metrics_to_prometheus,
+    use_metrics,
+    use_tracer,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.reader.llrp import rospec_to_xml
 from repro.util.tables import format_table
+
+_log = get_logger("repro.cli")
 
 #: Figure registry: id -> (description, smoke runner, paper-scale runner).
 FIGURES: Dict[str, tuple] = {
@@ -143,7 +164,7 @@ FIGURES: Dict[str, tuple] = {
 def cmd_figures(_args: argparse.Namespace) -> int:
     """List every reproducible figure."""
     rows = [[fig_id, description] for fig_id, (description, _, _) in FIGURES.items()]
-    print(format_table(["id", "figure"], rows, title="Reproducible figures"))
+    _log.info(format_table(["id", "figure"], rows, title="Reproducible figures"))
     return 0
 
 
@@ -151,11 +172,10 @@ def cmd_figure(args: argparse.Namespace) -> int:
     """Run one figure's experiment and print its report."""
     entry = FIGURES.get(args.id)
     if entry is None:
-        print(f"unknown figure {args.id!r}; try: python -m repro figures",
-              file=sys.stderr)
+        _log.error(f"unknown figure {args.id!r}; try: python -m repro figures")
         return 2
     _, smoke, paper = entry
-    print((smoke if args.scale == "smoke" else paper)())
+    _log.info((smoke if args.scale == "smoke" else paper)())
     return 0
 
 
@@ -165,7 +185,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
         n_tags=args.tags, n_mobile=args.mobile, seed=args.seed, partition=True
     )
     tagwatch = setup.tagwatch(TagwatchConfig(phase2_duration_s=args.phase2))
-    print(f"warming up ({args.warmup:.0f} s of read-all inventory)...")
+    _log.info(f"warming up ({args.warmup:.0f} s of read-all inventory)...")
     tagwatch.warm_up(args.warmup)
     rows = []
     for result in tagwatch.run(args.cycles):
@@ -184,7 +204,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
                 len(result.phase2_observations),
             ]
         )
-    print(
+    _log.info(
         format_table(
             ["cycle", "seen", "targets", "mode", "bitmasks", "phase2 reads"],
             rows,
@@ -201,7 +221,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
         rows.append(
             [percent, predicted_gain(PAPER_R420, args.tags, percent, args.phase2)]
         )
-    print(
+    _log.info(
         format_table(
             ["% mobile", "predicted naive gain"],
             rows,
@@ -245,11 +265,11 @@ def cmd_faults(args: argparse.Namespace) -> int:
             seed=args.seed,
             disconnect_at_s=tuple(args.disconnect_at),
         )
-        print(fault_sweep.format_report(result))
+        _log.info(fault_sweep.format_report(result))
         if args.metrics_out:
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
-            print(f"wrote {args.metrics_out}")
+            _log.info(f"wrote {args.metrics_out}")
         return 0
 
     if args.plan:
@@ -297,7 +317,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
                 len(result.phase2_observations),
             ]
         )
-    print(
+    _log.info(
         format_table(
             ["cycle", "seen", "targets", "mode", "health", "ph1", "ph2"],
             rows,
@@ -333,9 +353,9 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             json.dump(export, handle, indent=2, sort_keys=True)
-        print(f"wrote {args.metrics_out}")
+        _log.info(f"wrote {args.metrics_out}")
     else:
-        print(json.dumps(export["metrics"], indent=2, sort_keys=True))
+        _log.info(json.dumps(export["metrics"], indent=2, sort_keys=True))
     return 0
 
 
@@ -346,14 +366,14 @@ def cmd_rospec(args: argparse.Namespace) -> int:
     scheduler = TargetScheduler(PAPER_R420, rng=args.seed)
     plan = scheduler.plan(population, targets, (0, 1, 2, 3), 5.0)
     if plan.rospec is None:
-        print("nothing to schedule", file=sys.stderr)
+        _log.error("nothing to schedule")
         return 1
-    print(
+    _log.info(
         f"<!-- {len(plan.selection.bitmasks)} bitmask(s), "
         f"{plan.selection.n_collateral} collateral tag(s), "
         f"predicted sweep {plan.selection.total_cost_s * 1e3:.1f} ms -->"
     )
-    print(rospec_to_xml(plan.rospec))
+    _log.info(rospec_to_xml(plan.rospec))
     return 0
 
 
@@ -368,12 +388,32 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(document)
         total = sum(r.wall_s for r in results)
-        print(
+        _log.info(
             f"wrote {args.out}: {len(results)} section(s), "
             f"{total:.0f} s total"
         )
     else:
-        print(document)
+        _log.info(document)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the profiling workloads; print and export the time budget."""
+    from repro.obs import bench as bench_module
+
+    names = (
+        sorted(bench_module.WORKLOADS)
+        if args.name == "all"
+        else args.name.split(",")
+    )
+    results = []
+    for name in names:
+        results.append(bench_module.run_bench(name.strip(), scale=args.scale))
+    _log.info(bench_module.format_report(results))
+    if not args.no_write:
+        for result in results:
+            path = bench_module.write_bench(result, args.out_dir)
+            _log.info(f"wrote {path}")
     return 0
 
 
@@ -383,18 +423,42 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Tagwatch (CoNEXT'17) reproduction toolkit",
     )
+    # Observability options shared by every subcommand (the faults command
+    # keeps its richer, pre-existing --metrics-out export).
+    trace_parent = argparse.ArgumentParser(add_help=False)
+    trace_parent.add_argument(
+        "--trace-out", default="",
+        help="write the simulation-time trace here (see docs/observability.md)",
+    )
+    trace_parent.add_argument(
+        "--trace-format", choices=("chrome", "jsonl"), default="chrome",
+        help="chrome: Perfetto-loadable trace-event JSON; jsonl: event log",
+    )
+    metrics_parent = argparse.ArgumentParser(add_help=False)
+    metrics_parent.add_argument(
+        "--metrics-out", default="",
+        help="write telemetry metrics here (JSON; .prom/.txt: Prometheus text)",
+    )
+    obs_parents = [trace_parent, metrics_parent]
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("figures", help="list reproducible figures")
+    sub.add_parser(
+        "figures", help="list reproducible figures", parents=obs_parents
+    )
 
-    p_figure = sub.add_parser("figure", help="run one figure's experiment")
+    p_figure = sub.add_parser(
+        "figure", help="run one figure's experiment", parents=obs_parents
+    )
     p_figure.add_argument("id", help="figure id, e.g. fig18")
     p_figure.add_argument(
         "--scale", choices=("smoke", "paper"), default="smoke",
         help="smoke: seconds; paper: the benchmark-scale run",
     )
 
-    p_demo = sub.add_parser("demo", help="run a live Tagwatch deployment")
+    p_demo = sub.add_parser(
+        "demo", help="run a live Tagwatch deployment", parents=obs_parents
+    )
     p_demo.add_argument("--tags", type=int, default=40)
     p_demo.add_argument("--mobile", type=int, default=2)
     p_demo.add_argument("--cycles", type=int, default=5)
@@ -403,20 +467,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--seed", type=int, default=7)
 
     p_predict = sub.add_parser(
-        "predict", help="analytic gain curve from the cost model"
+        "predict", help="analytic gain curve from the cost model",
+        parents=obs_parents,
     )
     p_predict.add_argument("--tags", type=int, default=100)
     p_predict.add_argument("--phase2", type=float, default=5.0)
 
     p_rospec = sub.add_parser(
-        "rospec", help="plan a schedule and dump its ROSpec XML"
+        "rospec", help="plan a schedule and dump its ROSpec XML",
+        parents=obs_parents,
     )
     p_rospec.add_argument("--population", type=int, default=40)
     p_rospec.add_argument("--targets", type=int, default=3)
     p_rospec.add_argument("--seed", type=int, default=1)
 
     p_faults = sub.add_parser(
-        "faults", help="run Tagwatch under injected faults, export metrics"
+        "faults", help="run Tagwatch under injected faults, export metrics",
+        parents=[trace_parent],
     )
     p_faults.add_argument("--tags", type=int, default=20)
     p_faults.add_argument("--mobile", type=int, default=1)
@@ -454,7 +521,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_reproduce = sub.add_parser(
-        "reproduce", help="run every figure and write one markdown report"
+        "reproduce", help="run every figure and write one markdown report",
+        parents=obs_parents,
     )
     p_reproduce.add_argument(
         "--scale", choices=("smoke", "paper"), default="smoke"
@@ -465,6 +533,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_reproduce.add_argument(
         "--only", default="",
         help="comma-separated figure ids (e.g. fig2,fig18)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="profile the workloads: per-phase time budget",
+        parents=obs_parents,
+    )
+    p_bench.add_argument(
+        "--name", default="all",
+        help='comma-separated workload names, or "all" (fig02, fig18)',
+    )
+    p_bench.add_argument(
+        "--scale", choices=("smoke", "paper"), default="smoke"
+    )
+    p_bench.add_argument(
+        "--out-dir", default=".", help="where BENCH_<name>.json files land"
+    )
+    p_bench.add_argument(
+        "--no-write", action="store_true", help="print the table only"
     )
     return parser
 
@@ -477,13 +563,51 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "faults": cmd_faults,
     "predict": cmd_predict,
     "rospec": cmd_rospec,
+    "bench": cmd_bench,
 }
 
 
+def _write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Serialise the telemetry registry (Prometheus text by extension)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if path.endswith((".prom", ".txt")):
+            handle.write(metrics_to_prometheus(registry))
+        else:
+            handle.write(registry.to_json())
+            handle.write("\n")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Installs the ambient tracer and telemetry registry around whichever
+    subcommand runs, then serialises them to ``--trace-out`` /
+    ``--metrics-out``.  The ``faults`` command pre-dates the ambient
+    registry and keeps its own, richer ``--metrics-out`` export.
+    """
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    trace_out = getattr(args, "trace_out", "")
+    metrics_out = (
+        getattr(args, "metrics_out", "") if args.command != "faults" else ""
+    )
+    tracer = Tracer() if trace_out else None
+    registry = MetricsRegistry() if metrics_out else None
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(use_tracer(tracer))
+        if registry is not None:
+            stack.enter_context(use_metrics(registry))
+        code = COMMANDS[args.command](args)
+    if tracer is not None:
+        if args.trace_format == "jsonl":
+            write_jsonl(trace_out, tracer)
+        else:
+            write_chrome_trace(trace_out, tracer)
+        _log.info(f"wrote {trace_out} ({len(tracer.records)} records)")
+    if registry is not None:
+        _write_metrics(registry, metrics_out)
+        _log.info(f"wrote {metrics_out} ({len(registry.names())} metrics)")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

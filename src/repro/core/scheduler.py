@@ -22,6 +22,7 @@ from repro.core.setcover import (
     select_bitmasks,
 )
 from repro.gen2.epc import EPC
+from repro.obs.tracer import get_tracer
 from repro.reader.llrp import AISpec, AISpecStopTrigger, C1G2Filter, ROSpec
 from repro.util.rng import SeedLike, make_rng
 
@@ -133,6 +134,19 @@ class TargetScheduler:
             antenna_hints=antenna_hints,
             aispec_mode=self.aispec_mode,
         )
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Deterministic summary only — the wall-clock cost lives in the
+            # enclosing span's wall annotation, never in trace args.
+            tracer.event(
+                "scheduler.plan",
+                category="scheduler",
+                method=selection.method,
+                n_targets=selection.n_targets,
+                n_bitmasks=len(selection.bitmasks),
+                n_collateral=selection.n_collateral,
+                predicted_sweep_cost_s=selection.total_cost_s,
+            )
         return SchedulePlan(
             selection=selection,
             rospec=rospec,

@@ -28,6 +28,7 @@ from repro.core.bitmask import CandidateRow, indicator_bitmap
 from repro.core.cost import CostModel
 from repro.gen2.epc import EPC
 from repro.gen2.select import BitMask
+from repro.obs.tracer import get_tracer
 from repro.util.rng import SeedLike, make_rng
 
 
@@ -88,6 +89,8 @@ def greedy_cover(
     chosen: List[int] = []
     union = np.zeros(population_size, dtype=bool)
 
+    tracer = get_tracer()
+    traced = tracer.enabled
     while v.any():
         gains = np.array(
             [int((cov & v).sum()) for cov in coverages], dtype=float
@@ -102,6 +105,19 @@ def greedy_cover(
         chosen.append(pick)
         union |= coverages[pick]
         v &= ~coverages[pick]
+        if traced:
+            # Anchored to the enclosing span's start: the search is pure
+            # CPU, so no simulated time passes between iterations.
+            tracer.event(
+                "setcover.iteration",
+                category="setcover",
+                iteration=len(chosen),
+                pick=pick,
+                gain=int(gains[pick]),
+                covered_count=candidates[pick].covered_count,
+                n_tied=int(tied.size),
+                remaining_targets=int(v.sum()),
+            )
 
     counts = [candidates[i].covered_count for i in chosen]
     targets_mask = indicator_bitmap(population_size, target_indices)

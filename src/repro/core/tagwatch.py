@@ -31,6 +31,8 @@ from repro.core.motion import MotionAssessor, TagAssessment
 from repro.core.scheduler import SchedulePlan, TargetScheduler
 from repro.gen2.epc import EPC
 from repro.gen2.inventory import InventoryLog
+from repro.obs import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.radio.measurement import TagObservation
 from repro.reader.client import LLRPClient, ReaderConnectionError
 from repro.reader.llrp import AISpec, AISpecStopTrigger, ROSpec
@@ -130,6 +132,24 @@ class Tagwatch:
         if self.metrics is not None:
             self.metrics.counter(name).inc()
 
+    @staticmethod
+    def _telemetry_inc(name: str, amount: float = 1) -> None:
+        """Count into the ambient (opt-in) registry only.
+
+        Kept separate from :attr:`metrics` — which is shared with the
+        resilient client and pinned byte-for-byte by the golden traces —
+        so enabling app-level telemetry never perturbs those exports.
+        """
+        registry = get_metrics()
+        if registry is not None:
+            registry.counter(name).inc(amount)
+
+    @staticmethod
+    def _telemetry_observe(name: str, value: float) -> None:
+        registry = get_metrics()
+        if registry is not None:
+            registry.histogram(name).observe(value)
+
     def _execute(
         self, rospec: ROSpec
     ) -> Tuple[List[TagObservation], InventoryLog, bool]:
@@ -207,29 +227,55 @@ class Tagwatch:
         """
         if duration_s <= 0:
             raise ValueError("warm-up duration must be positive")
+        tracer = get_tracer()
+        span = tracer.begin(
+            "warmup",
+            t=self.client.reader.time_s,
+            category="tagwatch",
+            duration_s=duration_s,
+        )
         observations, _, _ = self._execute(self._read_all_rospec(duration_s))
         self._deliver(observations)
         self.assessor.observe_all(observations)
         self.assessor.assess()  # close the pseudo-cycle, clearing votes
         self._update_population(observations, self._cycle_index)
+        tracer.end(
+            span, t=self.client.reader.time_s, n_observations=len(observations)
+        )
         return len(observations)
 
     def run_cycle(self) -> CycleResult:
         """Execute one full Phase I + Phase II cycle."""
         reader = self.client.reader
+        tracer = get_tracer()
         cycle_index = self._cycle_index
         self._cycle_index += 1
         phase1_start = reader.time_s
+        cycle_span = tracer.begin(
+            "cycle", t=phase1_start, category="tagwatch", index=cycle_index
+        )
 
         # ---- Phase I: read everything once ----------------------------
         prev_population_size = len(self._known_population)
+        phase1_span = tracer.begin("phase1", t=phase1_start, category="tagwatch")
         phase1_obs, phase1_log, phase1_ok = self._execute(
             self._read_all_rospec(None)
         )
         phase1_end = reader.time_s
+        tracer.end(
+            phase1_span,
+            t=phase1_end,
+            n_observations=len(phase1_obs),
+            n_rounds=phase1_log.n_rounds,
+            n_slots=phase1_log.n_slots,
+            ok=phase1_ok,
+        )
         self._deliver(phase1_obs)
 
         # ---- Assessment ------------------------------------------------
+        # CPU-only: the span has zero simulated width, but its wall-clock
+        # annotation carries the real GMM cost (Fig 17's assessment term).
+        assess_span = tracer.begin("assess", t=phase1_end, category="tagwatch")
         assess_start = time.perf_counter()
         self.assessor.observe_all(phase1_obs)
         assessments = self.assessor.assess()
@@ -242,6 +288,25 @@ class Tagwatch:
         concerned = self.config.concerned_epc_values & present_values
         targets = moving | concerned
         assessment_wall = time.perf_counter() - assess_start
+        if tracer.enabled:
+            for epc_value in sorted(assessments):
+                verdict = assessments[epc_value]
+                tracer.event(
+                    "gmm.classify",
+                    t=phase1_end,
+                    category="gmm",
+                    epc=format(epc_value, "x"),
+                    moving=verdict.moving,
+                    n_readings=verdict.n_readings,
+                    n_motion_flags=verdict.n_motion_flags,
+                )
+        tracer.end(
+            assess_span,
+            t=phase1_end,
+            n_assessed=len(assessments),
+            n_moving=len(moving),
+            n_targets=len(targets),
+        )
 
         # ---- Confidence check (graceful degradation) --------------------
         # A Phase I that saw far fewer tags than we know to exist is not an
@@ -275,9 +340,20 @@ class Tagwatch:
                 f"{self.config.fallback_fraction:.2f}"
             )
 
+        if fallback and tracer.enabled:
+            tracer.event(
+                "tagwatch.fallback",
+                t=phase1_end,
+                category="tagwatch",
+                reason=fallback_reason,
+            )
+
         plan: Optional[SchedulePlan] = None
         scheduling_wall = 0.0
         if not fallback:
+            schedule_span = tracer.begin(
+                "schedule", t=phase1_end, category="tagwatch"
+            )
             antenna_hints: dict = {}
             for obs in phase1_obs:
                 antenna_hints.setdefault(obs.epc.value, set()).add(
@@ -292,6 +368,13 @@ class Tagwatch:
                 antenna_hints=antenna_hints,
             )
             scheduling_wall = plan.planning_wall_s
+            tracer.end(
+                schedule_span,
+                t=phase1_end,
+                n_bitmasks=len(plan.selection.bitmasks),
+                n_collateral=plan.selection.n_collateral,
+                method=plan.selection.method,
+            )
             if (
                 self.config.phase2_reads_target is not None
                 and plan.rospec is not None
@@ -319,12 +402,44 @@ class Tagwatch:
         else:
             assert plan is not None and plan.rospec is not None
             phase2_rospec = plan.rospec
+        phase2_span = tracer.begin(
+            "phase2",
+            t=reader.time_s,
+            category="tagwatch",
+            mode="fallback" if fallback else "selective",
+        )
         phase2_obs, phase2_log, phase2_ok = self._execute(phase2_rospec)
+        tracer.end(
+            phase2_span,
+            t=reader.time_s,
+            n_observations=len(phase2_obs),
+            n_rounds=phase2_log.n_rounds,
+            n_slots=phase2_log.n_slots,
+            ok=phase2_ok,
+        )
         self._deliver(phase2_obs)
         # Phase II readings keep training the immobility models; their
         # motion votes roll into the *next* cycle's assessment, which is how
         # a newly learned multipath mode stabilises after one cycle.
         self.assessor.observe_all(phase2_obs)
+
+        tracer.end(
+            cycle_span,
+            t=reader.time_s,
+            fallback=fallback,
+            degraded=not (phase1_ok and phase2_ok) or low_confidence,
+            n_targets=len(targets),
+        )
+        self._telemetry_inc("tagwatch.cycles")
+        if fallback:
+            self._telemetry_inc("tagwatch.fallback_cycles")
+        self._telemetry_inc("tagwatch.phase1_reads", len(phase1_obs))
+        self._telemetry_inc("tagwatch.phase2_reads", len(phase2_obs))
+        self._telemetry_observe(
+            "tagwatch.cycle_s", reader.time_s - phase1_start
+        )
+        self._telemetry_observe("tagwatch.assessment_wall_s", assessment_wall)
+        self._telemetry_observe("tagwatch.scheduling_wall_s", scheduling_wall)
 
         return CycleResult(
             index=cycle_index,

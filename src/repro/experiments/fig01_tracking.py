@@ -38,6 +38,7 @@ from repro.core.tagwatch import Tagwatch
 from repro.experiments.harness import corner_antennas
 from repro.util.rng import RngStream
 from repro.util.tables import format_table
+from repro.obs.logging import get_logger
 from repro.world import (
     AmbientObject,
     CircularPath,
@@ -45,6 +46,8 @@ from repro.world import (
     Stationary,
     TagInstance,
 )
+
+_log = get_logger("repro.experiments.fig01_tracking")
 
 
 @dataclass
@@ -240,7 +243,7 @@ def format_report(result: Fig01Result) -> str:
 
 def main() -> None:  # pragma: no cover - CLI entry
     """Run at full scale and print the report."""
-    print(format_report(run()))
+    _log.info(format_report(run()))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,9 @@ from repro.experiments.harness import build_lab
 from repro.gen2.aloha import QAdaptive
 from repro.radio.constants import china_920_926
 from repro.util.tables import format_table
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.experiments.fig02_irr")
 
 
 @dataclass
@@ -141,8 +144,8 @@ def format_plot(result: Fig02Result) -> str:
 def main() -> None:  # pragma: no cover - CLI entry
     """Run at full scale and print report and plot."""
     result = run()
-    print(format_report(result))
-    print(format_plot(result))
+    _log.info(format_report(result))
+    _log.info(format_plot(result))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,9 @@ from repro.traces import (
 from repro.traces.analysis import count_cdf, per_tag_counts, reads_per_second
 from repro.traces.trackpoint import expected_reads_if_fair
 from repro.util.tables import format_table, sparkline
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.experiments.fig03_trace")
 
 
 @dataclass
@@ -95,7 +98,7 @@ def format_report(result: Fig03Result) -> str:
 
 def main() -> None:  # pragma: no cover - CLI entry
     """Run at full scale and print the report."""
-    print(format_report(run()))
+    _log.info(format_report(run()))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,6 +27,9 @@ SCORE_CAP = 1e3
 from repro.experiments.harness import build_lab
 from repro.radio.measurement import TagObservation
 from repro.util.tables import format_table
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.experiments.fig12_roc")
 
 DETECTORS = (
     ("phase", "mog"),
@@ -220,8 +223,8 @@ def format_plot(result: Fig12Result) -> str:
 def main() -> None:  # pragma: no cover - CLI entry
     """Run at full scale and print report and plot."""
     result = run()
-    print(format_report(result))
-    print(format_plot(result))
+    _log.info(format_report(result))
+    _log.info(format_plot(result))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,6 +25,9 @@ from repro.reader import SimReader
 from repro.util.rng import RngStream
 from repro.util.tables import format_table
 from repro.world import Scene, StepDisplacement, TagInstance
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.experiments.fig13_sensitivity")
 
 
 @dataclass
@@ -150,7 +153,7 @@ def format_report(result: Fig13Result) -> str:
 
 def main() -> None:  # pragma: no cover - CLI entry
     """Run at full scale and print the report."""
-    print(format_report(run()))
+    _log.info(format_report(run()))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,9 @@ from repro.core.gmm import GaussianMixtureStack, GmmParams
 from repro.experiments.harness import build_lab
 from repro.radio.measurement import TagObservation
 from repro.util.tables import format_table
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.experiments.fig14_learning")
 
 
 @dataclass
@@ -109,7 +112,7 @@ def format_report(result: Fig14Result) -> str:
 
 def main() -> None:  # pragma: no cover - CLI entry
     """Run at full scale and print the report."""
-    print(format_report(run()))
+    _log.info(format_report(run()))
 
 
 if __name__ == "__main__":  # pragma: no cover

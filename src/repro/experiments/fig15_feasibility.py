@@ -27,6 +27,9 @@ from repro.core.scheduler import TargetScheduler
 from repro.core.setcover import CoverSelection
 from repro.experiments.harness import LabSetup, build_lab, irr_by_tag
 from repro.util.tables import format_table
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.experiments.fig15_feasibility")
 
 
 @dataclass
@@ -171,9 +174,9 @@ def format_report(result: Fig15Result) -> str:
 
 def main() -> None:  # pragma: no cover - CLI entry
     """Run at full scale and print the report."""
-    print(format_report(run(n_targets=2)))
-    print()
-    print(format_report(run(n_targets=5)))
+    _log.info(format_report(run(n_targets=2)))
+    _log.info("")
+    _log.info(format_report(run(n_targets=5)))
 
 
 if __name__ == "__main__":  # pragma: no cover

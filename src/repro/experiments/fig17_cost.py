@@ -19,6 +19,9 @@ from repro.core import TagwatchConfig
 from repro.experiments.harness import build_lab
 from repro.util.stats import cdf_points, percentile
 from repro.util.tables import format_table
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.experiments.fig17_cost")
 
 
 @dataclass
@@ -102,8 +105,8 @@ def format_plot(result: Fig17Result) -> str:
 def main() -> None:  # pragma: no cover - CLI entry
     """Run at full scale and print report and plot."""
     result = run()
-    print(format_report(result))
-    print(format_plot(result))
+    _log.info(format_report(result))
+    _log.info(format_plot(result))
 
 
 if __name__ == "__main__":  # pragma: no cover

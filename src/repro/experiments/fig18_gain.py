@@ -22,6 +22,9 @@ from repro.core import TagwatchConfig
 from repro.experiments.harness import build_lab, irr_by_tag, read_all_irr
 from repro.util.stats import percentile
 from repro.util.tables import format_table
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.experiments.fig18_gain")
 
 
 @dataclass
@@ -210,8 +213,8 @@ def format_plot(result: Fig18Result) -> str:
 def main() -> None:  # pragma: no cover - CLI entry
     """Run at full scale and print report and plot."""
     result = run()
-    print(format_report(result))
-    print(format_plot(result))
+    _log.info(format_report(result))
+    _log.info(format_plot(result))
 
 
 if __name__ == "__main__":  # pragma: no cover

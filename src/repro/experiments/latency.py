@@ -22,6 +22,9 @@ from repro.reader import LLRPClient, SimReader
 from repro.util.rng import RngStream
 from repro.util.tables import format_table
 from repro.world import Antenna, CircularPath, Scene, Stationary, TagInstance
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.experiments.latency")
 
 
 @dataclass
@@ -113,7 +116,7 @@ def format_report(result: LatencyResult) -> str:
 
 def main() -> None:  # pragma: no cover - CLI entry
     """Run at default scale and print the report."""
-    print(format_report(run()))
+    _log.info(format_report(run()))
 
 
 if __name__ == "__main__":  # pragma: no cover

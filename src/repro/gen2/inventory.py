@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.gen2.aloha import FrameStrategy, SlotOutcome
 from repro.gen2.timing import LinkTiming
+from repro.obs.tracer import get_tracer
 from repro.util.rng import SeedLike, make_rng
 
 
@@ -146,6 +147,35 @@ class InventoryEngine:
         round_index = self._round_counter
         self._round_counter += 1
 
+        tracer = get_tracer()
+        traced = tracer.enabled
+        round_span = None
+        if traced:
+            round_span = tracer.begin(
+                "round",
+                t=start_time_s,
+                category="gen2",
+                round_index=round_index,
+                n_participants=len(participant_ids),
+                startup_s=self.timing.startup_cost,
+            )
+
+        def _finish(end_s: float) -> InventoryLog:
+            log.end_time_s = end_s
+            if round_span is not None:
+                tracer.end(
+                    round_span,
+                    t=end_s,
+                    n_slots=log.n_slots,
+                    n_empty=log.n_empty,
+                    n_single=log.n_single,
+                    n_collision=log.n_collision,
+                    n_adjusts=log.n_adjusts,
+                    n_reads=len(log.reads),
+                    truncated=log.truncated,
+                )
+            return log
+
         t = start_time_s + self.timing.startup_cost
         deadline = (
             start_time_s + max_duration_s if max_duration_s is not None else None
@@ -155,8 +185,7 @@ class InventoryEngine:
         if ids.size == 0:
             # The reader still pays the start-up cost and probes one slot.
             log.n_empty = 1
-            log.end_time_s = t + self.timing.empty_slot_duration
-            return log
+            return _finish(t + self.timing.empty_slot_duration)
 
         strategy = self.strategy_factory()
         frame_length = max(1, strategy.start_round(int(ids.size)))
@@ -182,16 +211,23 @@ class InventoryEngine:
             singles = counts[draws] == 1
             slot_owner[draws[singles]] = contenders[singles]
 
+            frame_span = None
+            if traced:
+                frame_span = tracer.begin(
+                    "frame",
+                    t=t,
+                    category="gen2",
+                    frame_length=int(frame_length),
+                    n_contenders=int(contenders.size),
+                )
+            slots_before = log.n_slots
             adjust_to: Optional[int] = None
             for slot in range(frame_length):
-                if deadline is not None and t >= deadline:
+                if (deadline is not None and t >= deadline) or (
+                    log.n_slots >= self.MAX_SLOTS_PER_ROUND
+                ):
                     log.truncated = True
-                    log.end_time_s = t
-                    return log
-                if log.n_slots >= self.MAX_SLOTS_PER_ROUND:
-                    log.truncated = True
-                    log.end_time_s = t
-                    return log
+                    break
 
                 occupancy = counts[slot]
                 if occupancy == 0:
@@ -250,6 +286,15 @@ class InventoryEngine:
                 if seen_mask.all():
                     break
 
+            if frame_span is not None:
+                tracer.end(
+                    frame_span,
+                    t=t,
+                    n_slots=log.n_slots - slots_before,
+                )
+            if log.truncated:
+                return _finish(t)
+
             if adjust_to is not None:
                 frame_length = adjust_to
             elif not seen_mask.all():
@@ -260,8 +305,7 @@ class InventoryEngine:
                 )
                 frame_length = max(1, strategy.next_frame(remaining))
 
-        log.end_time_s = t
-        return log
+        return _finish(t)
 
     # ------------------------------------------------------------------
     def run_for_duration(

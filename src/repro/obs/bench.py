@@ -1,0 +1,264 @@
+"""Profiling/benchmark harness: where does Tagwatch's time actually go?
+
+Runs a named workload (the Fig 2 inventory-rate sweep, the Fig 18
+end-to-end gain sweep) under a live tracer and reduces the trace to a
+per-phase budget:
+
+- **slot time** — simulated air time inside inventory frames (round
+  duration minus the per-round start-up, the paper's ``n·e·τ̄·ln n`` term);
+- **round start-up** — the fixed ``τ0`` paid once per round;
+- **Select overhead** — extra Select commands beyond the one each round's
+  start-up already covers (what the set cover is minimising);
+- **Phase I / Phase II** — cycle-level simulated intervals;
+- **scheduler / assessment CPU** — wall-clock spent planning covers and
+  updating GMMs (simulated time stands still while they run).
+
+``python -m repro bench`` (or ``make bench``) prints the table and writes
+one ``BENCH_<name>.json`` per workload, seeding the repo's performance
+trajectory: commit the JSON, diff it across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.obs.tracer import Span, TraceEvent, Tracer, get_tracer, use_tracer
+from repro.util.tables import format_table
+
+__all__ = [
+    "BenchResult",
+    "WORKLOADS",
+    "run_bench",
+    "write_bench",
+    "format_report",
+]
+
+
+@dataclass
+class BenchResult:
+    """One workload's wall/simulated budget, reduced from its trace."""
+
+    name: str
+    scale: str
+    wall_s: float
+    sim_s: float
+    #: Simulated/wall seconds per budget line (see module docstring).
+    breakdown: Dict[str, float]
+    #: Instrumentation-point tallies (rounds, frames, Selects, ...).
+    counts: Dict[str, int]
+    #: Headline workload statistics, as a sanity anchor for the numbers.
+    workload: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable-shape JSON export (wall timings vary run to run)."""
+        return {
+            "name": self.name,
+            "scale": self.scale,
+            "wall_s": round(self.wall_s, 6),
+            "sim_s": round(self.sim_s, 9),
+            "breakdown": {k: round(v, 9) for k, v in sorted(self.breakdown.items())},
+            "counts": dict(sorted(self.counts.items())),
+            "workload": self.workload,
+        }
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def _fig02_workload(scale: str) -> Dict[str, object]:
+    """The Fig 2 IRR-vs-population sweep (pure inventory, no Tagwatch)."""
+    from repro.experiments import fig02_irr
+
+    if scale == "smoke":
+        result = fig02_irr.run(
+            tag_counts=(1, 5, 10, 20), initial_qs=(4,), repeats=4
+        )
+    else:
+        result = fig02_irr.run()
+    return {
+        "drop_fraction": round(result.drop_fraction, 6),
+        "tau0_ms": round(result.fitted.tau0_s * 1e3, 3),
+        "tau_bar_ms": round(result.fitted.tau_bar_s * 1e3, 4),
+        "n_settings": len(result.tag_counts) * len(result.curves),
+    }
+
+
+def _fig18_workload(scale: str) -> Dict[str, object]:
+    """The Fig 18 end-to-end gain sweep (full Tagwatch cycles)."""
+    from repro.experiments import fig18_gain
+
+    if scale == "smoke":
+        result = fig18_gain.run(
+            percents=(5.0, 20.0),
+            populations=(40,),
+            n_cycles=4,
+            warmup_cycles=1,
+            phase2_duration_s=1.0,
+        )
+    else:
+        result = fig18_gain.run()
+    return {
+        "median_gain_at_5pct": round(result.median_gain(5.0, "greedy"), 4),
+        "n_samples": len(result.samples),
+    }
+
+
+WORKLOADS: Dict[str, Callable[[str], Dict[str, object]]] = {
+    "fig02": _fig02_workload,
+    "fig18": _fig18_workload,
+}
+
+
+# ----------------------------------------------------------------------
+# Trace reduction
+# ----------------------------------------------------------------------
+def _analyze(records: Sequence[object]) -> Dict[str, object]:
+    breakdown: Dict[str, float] = {
+        "slot_s": 0.0,
+        "round_startup_s": 0.0,
+        "select_extra_s": 0.0,
+        "phase1_s": 0.0,
+        "phase2_s": 0.0,
+        "warmup_s": 0.0,
+        "scheduler_cpu_s": 0.0,
+        "assessment_cpu_s": 0.0,
+    }
+    counts: Dict[str, int] = {
+        "spans": 0,
+        "events": 0,
+        "rounds": 0,
+        "frames": 0,
+        "cycles": 0,
+        "selects": 0,
+        "setcover_iterations": 0,
+        "gmm_classifications": 0,
+        "client_retries": 0,
+    }
+    t_min: Optional[float] = None
+    t_max: Optional[float] = None
+    for record in records:
+        if isinstance(record, Span):
+            counts["spans"] += 1
+            t_min = record.start_s if t_min is None else min(t_min, record.start_s)
+            t_max = record.end_s if t_max is None else max(t_max, record.end_s)
+            if record.name == "round":
+                counts["rounds"] += 1
+                startup = float(record.args.get("startup_s", 0.0))
+                breakdown["round_startup_s"] += startup
+                breakdown["slot_s"] += max(0.0, record.duration_s - startup)
+            elif record.name == "frame":
+                counts["frames"] += 1
+            elif record.name == "cycle":
+                counts["cycles"] += 1
+            elif record.name == "phase1":
+                breakdown["phase1_s"] += record.duration_s
+            elif record.name == "phase2":
+                breakdown["phase2_s"] += record.duration_s
+            elif record.name == "warmup":
+                breakdown["warmup_s"] += record.duration_s
+            elif record.name == "schedule":
+                breakdown["scheduler_cpu_s"] += record.wall_duration_s
+            elif record.name == "assess":
+                breakdown["assessment_cpu_s"] += record.wall_duration_s
+        elif isinstance(record, TraceEvent):
+            counts["events"] += 1
+            if record.name == "select":
+                counts["selects"] += 1
+                breakdown["select_extra_s"] += float(
+                    record.args.get("extra_cost_s", 0.0)
+                )
+            elif record.name == "setcover.iteration":
+                counts["setcover_iterations"] += 1
+            elif record.name == "gmm.classify":
+                counts["gmm_classifications"] += 1
+            elif record.name == "client.retry":
+                counts["client_retries"] += 1
+    sim_s = 0.0 if t_min is None or t_max is None else t_max - t_min
+    return {"breakdown": breakdown, "counts": counts, "sim_s": sim_s}
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def run_bench(
+    name: str, scale: str = "smoke", tracer: Optional[Tracer] = None
+) -> BenchResult:
+    """Run one named workload under tracing; reduce its trace to a budget.
+
+    When the caller already installed an ambient tracer (``--trace-out``),
+    the workload's records are appended there and analysed in place, so one
+    trace file can carry a whole bench session.
+    """
+    workload_fn = WORKLOADS.get(name)
+    if workload_fn is None:
+        raise ValueError(
+            f"unknown bench workload {name!r}; known: {sorted(WORKLOADS)}"
+        )
+    if scale not in ("smoke", "paper"):
+        raise ValueError(f"unknown bench scale {scale!r}")
+    if tracer is None:
+        ambient = get_tracer()
+        tracer = ambient if ambient.enabled else Tracer()
+    start_index = len(tracer.records)
+    wall_start = time.perf_counter()
+    with use_tracer(tracer):
+        workload = workload_fn(scale)
+    wall_s = time.perf_counter() - wall_start
+    analysis = _analyze(tracer.records[start_index:])
+    return BenchResult(
+        name=name,
+        scale=scale,
+        wall_s=wall_s,
+        sim_s=float(analysis["sim_s"]),
+        breakdown=analysis["breakdown"],
+        counts=analysis["counts"],
+        workload=workload,
+    )
+
+
+def write_bench(result: BenchResult, out_dir: str = ".") -> str:
+    """Write ``BENCH_<name>.json``; returns the path."""
+    path = os.path.join(out_dir, f"BENCH_{result.name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_report(results: Sequence[BenchResult]) -> str:
+    """One table over all workloads: wall, sim, and the budget lines."""
+    headers = [
+        "workload",
+        "wall s",
+        "sim s",
+        "slot s",
+        "startup s",
+        "select s",
+        "sched cpu s",
+        "assess cpu s",
+        "rounds",
+        "cycles",
+    ]
+    rows: List[List[object]] = []
+    for r in results:
+        rows.append(
+            [
+                f"{r.name}/{r.scale}",
+                round(r.wall_s, 2),
+                round(r.sim_s, 2),
+                round(r.breakdown["slot_s"], 3),
+                round(r.breakdown["round_startup_s"], 3),
+                round(r.breakdown["select_extra_s"], 3),
+                round(r.breakdown["scheduler_cpu_s"], 4),
+                round(r.breakdown["assessment_cpu_s"], 4),
+                r.counts["rounds"],
+                r.counts["cycles"],
+            ]
+        )
+    return format_table(
+        headers, rows, title="Bench: per-phase time budget (see docs/observability.md)"
+    )

@@ -21,6 +21,7 @@ from repro.gen2.commands import Select
 from repro.gen2.inventory import InventoryEngine, InventoryLog
 from repro.gen2.select import apply_selects
 from repro.gen2.timing import R420_PROFILE, LinkTiming
+from repro.obs.tracer import get_tracer
 from repro.radio.measurement import TagObservation
 from repro.reader.llrp import AISpec, ROSpec
 from repro.util.rng import RngStream
@@ -137,6 +138,30 @@ class SimReader:
             )
         self._maybe_hop()
         channel = self._channel_index
+        tracer = get_tracer()
+        round_span = None
+        if tracer.enabled:
+            round_span = tracer.begin(
+                "inventory_round",
+                t=self.time_s,
+                category="reader",
+                antenna=antenna_index,
+                channel=channel,
+                n_selects=len(selects),
+            )
+            if selects:
+                # Every round's start-up already covers one Select; extras
+                # are the per-mask overhead the set cover priced.
+                tracer.event(
+                    "select",
+                    t=self.time_s,
+                    category="gen2",
+                    antenna=antenna_index,
+                    n_filters=len(selects),
+                    extra_cost_s=(
+                        max(0, len(selects) - 1) * self.timing.select_duration
+                    ),
+                )
         extra_selects = max(0, len(selects) - 1)
         self.time_s += extra_selects * self.timing.select_duration
 
@@ -160,6 +185,13 @@ class SimReader:
             for callback in self._report_callbacks:
                 callback(obs)
         self.time_s = log.end_time_s
+        if round_span is not None:
+            tracer.end(
+                round_span,
+                t=self.time_s,
+                n_observations=len(observations),
+                n_participants=len(participants),
+            )
         return RoundResult(observations, log, antenna_index, channel)
 
     def run_duration(

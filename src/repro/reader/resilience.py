@@ -29,6 +29,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.gen2.inventory import InventoryLog
+from repro.obs.tracer import get_tracer
 from repro.radio.measurement import TagObservation
 from repro.reader.client import (
     LLRPClient,
@@ -125,6 +126,9 @@ class ResilientLLRPClient(LLRPClient):
         if self.state != ReaderState.CONNECTED:
             self.state = ReaderState.CONNECTED
             self.metrics.counter("client.reconnects").inc()
+            get_tracer().event(
+                "client.reconnect", t=self.reader.time_s, category="resilience"
+            )
 
     @property
     def breaker_open(self) -> bool:
@@ -140,6 +144,13 @@ class ResilientLLRPClient(LLRPClient):
                 self.reader.time_s + self.policy.breaker_cooldown_s
             )
             self.metrics.counter("client.circuit_opened").inc()
+            get_tracer().event(
+                "client.circuit_open",
+                t=self.reader.time_s,
+                category="resilience",
+                open_until_s=self._breaker_open_until,
+                consecutive_failures=self._consecutive_failures,
+            )
 
     def _record_success(self) -> None:
         self._consecutive_failures = 0
@@ -151,8 +162,15 @@ class ResilientLLRPClient(LLRPClient):
     def _run_rospec(
         self, rospec: ROSpec
     ) -> Tuple[List[TagObservation], InventoryLog]:
+        tracer = get_tracer()
         if self.breaker_open:
             self.metrics.counter("client.breaker_rejections").inc()
+            tracer.event(
+                "client.breaker_rejection",
+                t=self.reader.time_s,
+                category="resilience",
+                rospec_id=rospec.rospec_id,
+            )
             raise CircuitOpenError(
                 f"circuit breaker open until t={self._breaker_open_until:.3f}s"
             )
@@ -166,10 +184,25 @@ class ResilientLLRPClient(LLRPClient):
                 if attempt == policy.max_attempts:
                     self._record_failure()
                     self.metrics.counter("client.operations_abandoned").inc()
+                    tracer.event(
+                        "client.abandoned",
+                        t=self.reader.time_s,
+                        category="resilience",
+                        rospec_id=rospec.rospec_id,
+                        attempts=attempt,
+                    )
                     raise
                 backoff = policy.backoff_s(attempt, self._rng)
                 self.metrics.counter("client.retries").inc()
                 self.metrics.histogram("client.backoff_s").observe(backoff)
+                tracer.event(
+                    "client.retry",
+                    t=self.reader.time_s,
+                    category="resilience",
+                    rospec_id=rospec.rospec_id,
+                    attempt=attempt,
+                    backoff_s=backoff,
+                )
                 self.reader.advance_clock(backoff)
                 self._require_connected()  # reconnect before the retry
             else:

@@ -93,11 +93,16 @@ class Histogram:
         return float(sum(self._samples))
 
     def percentile(self, q: float) -> float:
-        """Linear-interpolated percentile of the observed samples."""
-        if not self._samples:
-            raise ValueError(f"histogram {self.name} has no samples")
+        """Linear-interpolated percentile of the observed samples.
+
+        An empty histogram has a defined (zero) percentile at every q, so
+        a metrics dump taken mid-run — before anything was observed — can
+        always be serialised instead of blowing up the exporter.
+        """
         if not 0 <= q <= 100:
             raise ValueError("percentile must be in [0, 100]")
+        if not self._samples:
+            return 0.0
         data = sorted(self._samples)
         rank = (len(data) - 1) * q / 100.0
         low = int(math.floor(rank))
@@ -108,9 +113,23 @@ class Histogram:
         return data[low] * (1 - frac) + data[high] * frac
 
     def to_dict(self) -> Dict[str, Number]:
-        """Export shape: count/sum/min/max/mean plus p50 and p90."""
+        """Export shape: count/sum/min/max/mean plus p50 and p90.
+
+        A zero-sample histogram exports the same keys with zero values, so
+        downstream consumers (Prometheus exposition, bench reports) never
+        need a special case for "registered but nothing observed yet".
+        """
         if not self._samples:
-            return {"type": "histogram", "count": 0, "sum": 0.0}
+            return {
+                "type": "histogram",
+                "count": 0,
+                "sum": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "mean": 0.0,
+                "p50": 0.0,
+                "p90": 0.0,
+            }
         return {
             "type": "histogram",
             "count": self.count,

@@ -1,0 +1,132 @@
+"""Exporters: JSONL/Chrome determinism, schema validity, Prometheus text."""
+
+import json
+
+from repro.obs import (
+    Tracer,
+    metrics_to_prometheus,
+    to_chrome_trace,
+    to_jsonl,
+    use_tracer,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.experiments import fig02_irr
+from repro.util.metrics import MetricsRegistry
+
+
+def _small_trace():
+    tracer = Tracer(wall_clock=lambda: 0.125)
+    cycle = tracer.begin("cycle", t=0.0, category="core", index=0)
+    phase1 = tracer.begin("phase1", t=0.0, category="core")
+    tracer.event("select", t=0.1, category="gen2", antenna=2)
+    tracer.end(phase1, t=1.0)
+    tracer.end(cycle, t=2.5)
+    return tracer
+
+
+def test_jsonl_rows_have_stable_shape():
+    rows = [json.loads(line) for line in to_jsonl(_small_trace()).splitlines()]
+    assert [r["type"] for r in rows] == ["event", "span", "span"]
+    span = rows[1]
+    assert span["name"] == "phase1"
+    assert span["t0_s"] == 0.0 and span["t1_s"] == 1.0 and span["dur_s"] == 1.0
+    assert "wall_dur_s" not in span
+    wall_rows = [
+        json.loads(line)
+        for line in to_jsonl(_small_trace(), include_wall=True).splitlines()
+    ]
+    assert "wall_dur_s" in wall_rows[1]
+
+
+def test_chrome_trace_is_valid_and_microsecond_scaled():
+    document = to_chrome_trace(_small_trace())
+    assert validate_chrome_trace(document) == []
+    spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+    metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+    assert len(spans) == 2 and len(instants) == 1 and len(metadata) == 1
+    cycle = next(e for e in spans if e["name"] == "cycle")
+    assert cycle["ts"] == 0.0 and cycle["dur"] == 2.5e6
+    phase = next(e for e in spans if e["name"] == "phase1")
+    assert phase["args"]["parent"] == cycle["args"]["id"]
+
+
+def test_validate_chrome_trace_flags_problems():
+    assert validate_chrome_trace([]) == ["top level must be an object"]
+    assert validate_chrome_trace({}) == ["traceEvents must be a list"]
+    bad = {
+        "traceEvents": [
+            {"ph": "Q", "name": "x", "pid": 1, "tid": 1},
+            {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0.0, "dur": -1},
+        ]
+    }
+    problems = validate_chrome_trace(bad)
+    assert any("bad ph" in p for p in problems)
+    assert any("negative dur" in p for p in problems)
+
+
+def test_writers_round_trip(tmp_path):
+    tracer = _small_trace()
+    jsonl_path = tmp_path / "trace.jsonl"
+    chrome_path = tmp_path / "trace.json"
+    write_jsonl(str(jsonl_path), tracer)
+    write_chrome_trace(str(chrome_path), tracer)
+    assert jsonl_path.read_text() == to_jsonl(tracer)
+    document = json.loads(chrome_path.read_text())
+    assert validate_chrome_trace(document) == []
+
+
+def test_prometheus_exposition():
+    registry = MetricsRegistry()
+    registry.counter("client.retries").inc(3)
+    registry.gauge("breaker.open").set(1)
+    registry.histogram("backoff_s").observe(0.5)
+    registry.histogram("never_observed")  # empty histograms must export too
+    text = metrics_to_prometheus(registry)
+    assert "# TYPE client_retries_total counter" in text
+    assert "client_retries_total 3" in text
+    assert "breaker_open 1" in text
+    assert 'backoff_s{quantile="0.5"} 0.5' in text
+    assert "never_observed_count 0" in text
+    assert text.endswith("\n")
+    assert metrics_to_prometheus(MetricsRegistry()) == ""
+
+
+def _fig02_trace(seed_irrelevant=None):
+    tracer = Tracer()
+    with use_tracer(tracer):
+        fig02_irr.run(tag_counts=(1, 5), initial_qs=(4,), repeats=2)
+    return tracer
+
+
+def test_fig02_trace_is_deterministic_and_valid():
+    first = to_jsonl(_fig02_trace())
+    second = to_jsonl(_fig02_trace())
+    assert first == second  # byte-identical across same-seed runs
+    document = to_chrome_trace(_fig02_trace())
+    assert validate_chrome_trace(document) == []
+
+
+def test_phase_spans_partition_the_cycle():
+    """Phase I + Phase II simulated durations sum to the cycle duration."""
+    from repro.core import TagwatchConfig
+    from repro.experiments.harness import build_lab
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        setup = build_lab(n_tags=10, n_mobile=1, seed=7, partition=True)
+        tagwatch = setup.tagwatch(TagwatchConfig(phase2_duration_s=1.0))
+        tagwatch.warm_up(4.0)
+        tagwatch.run(2)
+    cycles = tracer.spans("cycle")
+    assert len(cycles) == 2
+    for cycle in cycles:
+        parts = [
+            s.duration_s
+            for s in tracer.spans()
+            if s.parent_id == cycle.span_id and s.name in ("phase1", "phase2")
+        ]
+        assert len(parts) == 2
+        assert abs(sum(parts) - cycle.duration_s) <= 0.01 * cycle.duration_s

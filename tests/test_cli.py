@@ -52,3 +52,86 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "Tagwatch demo" in out
+
+
+class TestObservabilityWiring:
+    def test_figure_trace_out_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        assert main(["figure", "fig2", "--trace-out", str(path)]) == 0
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) == []
+        names = {e["name"] for e in document["traceEvents"]}
+        assert {"round", "frame", "inventory_round"} <= names
+
+    def test_figure_trace_out_jsonl_and_determinism(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path in (a, b):
+            assert (
+                main(
+                    ["figure", "fig2",
+                     "--trace-out", str(path), "--trace-format", "jsonl"]
+                )
+                == 0
+            )
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_demo_metrics_out_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert (
+            main(
+                ["demo", "--tags", "8", "--mobile", "1", "--cycles", "2",
+                 "--warmup", "6", "--phase2", "0.5",
+                 "--metrics-out", str(path)]
+            )
+            == 0
+        )
+        metrics = json.loads(path.read_text())
+        assert metrics["tagwatch.cycles"]["value"] == 2
+        assert metrics["tagwatch.cycle_s"]["count"] == 2
+
+    def test_demo_metrics_out_prometheus(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        assert (
+            main(
+                ["demo", "--tags", "8", "--mobile", "1", "--cycles", "1",
+                 "--warmup", "6", "--phase2", "0.5",
+                 "--metrics-out", str(path)]
+            )
+            == 0
+        )
+        text = path.read_text()
+        assert "# TYPE tagwatch_cycles_total counter" in text
+        assert "tagwatch_cycles_total 1" in text
+
+    def test_bench_command(self, tmp_path, capsys):
+        import json
+        import os
+
+        assert (
+            main(
+                ["bench", "--name", "fig02", "--scale", "smoke",
+                 "--out-dir", str(tmp_path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fig02/smoke" in out
+        data = json.loads((tmp_path / "BENCH_fig02.json").read_text())
+        assert data["counts"]["rounds"] > 0
+        assert not os.path.exists("BENCH_fig18.json")
+
+    def test_bench_no_write(self, tmp_path, capsys):
+        assert (
+            main(
+                ["bench", "--name", "fig02", "--no-write",
+                 "--out-dir", str(tmp_path)]
+            )
+            == 0
+        )
+        assert list(tmp_path.iterdir()) == []

@@ -61,10 +61,25 @@ def test_histogram_rejects_bad_input():
     with pytest.raises(ValueError):
         hist.observe(float("inf"))
     with pytest.raises(ValueError):
-        hist.percentile(50)  # empty
-    hist.observe(1.0)
-    with pytest.raises(ValueError):
         hist.percentile(101)
+    with pytest.raises(ValueError):
+        hist.percentile(-0.5)
+
+
+def test_empty_histogram_percentile_is_defined():
+    hist = Histogram("h")
+    # A mid-run metrics dump may serialise before anything was observed:
+    # every quantile of an empty histogram is 0, including the edges.
+    assert hist.percentile(0) == 0.0
+    assert hist.percentile(50) == 0.0
+    assert hist.percentile(100) == 0.0
+
+
+def test_single_sample_percentile_edges():
+    hist = Histogram("h")
+    hist.observe(2.5)
+    assert hist.percentile(0) == 2.5
+    assert hist.percentile(100) == 2.5
 
 
 def test_empty_histogram_export():
@@ -72,6 +87,11 @@ def test_empty_histogram_export():
         "type": "histogram",
         "count": 0,
         "sum": 0.0,
+        "min": 0.0,
+        "max": 0.0,
+        "mean": 0.0,
+        "p50": 0.0,
+        "p90": 0.0,
     }
 
 
