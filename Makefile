@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest underneath.
 
-.PHONY: install test test-faults bench bench-smoke bench-micro examples reproduce clean
+.PHONY: install test test-faults test-runtime bench bench-smoke bench-micro soak soak-smoke examples reproduce clean
 
 install:
 	python setup.py develop
@@ -12,6 +12,9 @@ test-faults:
 	pytest tests/faults tests/util/test_metrics.py \
 		tests/core/test_cover_properties.py tests/test_golden_traces.py
 
+test-runtime:
+	pytest tests/runtime
+
 bench:
 	python -m repro bench --name all --scale smoke
 
@@ -21,6 +24,18 @@ bench-smoke:
 
 bench-micro:
 	pytest benchmarks/ --benchmark-only -s
+
+# Full chaos soak: 2000 supervised cycles under the seeded fault schedule
+# (reader crashes, jamming, blackouts, churn, kills, checkpoint
+# corruption); exits non-zero on any runtime-invariant violation.
+soak:
+	python -m repro soak --cycles 2000 --seed 0 --out soak_report.json
+
+# Short soak for CI: same chaos density, far fewer cycles.
+soak-smoke:
+	python -m repro soak --cycles 300 --seed 1 \
+		--crash-every 40 --kill-every 100 --corrupt-every 120 \
+		--jam-every 50 --blackout-every 60 --out soak_report.json
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; python $$script; done

@@ -21,6 +21,13 @@ Commands
 ``bench [--name fig02,fig18 --scale smoke|paper --out-dir D]``
     Run the profiling workloads under tracing, print the per-phase time
     budget, and write one ``BENCH_<name>.json`` per workload.
+``soak [--cycles N --seed S --out F]``
+    Chaos soak: run the supervised runtime (checkpointing, watchdog,
+    escalation ladder) for thousands of cycles under a seeded fault
+    schedule — reader crashes, antenna dropouts, jamming bursts, tag
+    churn, middleware kills, checkpoint corruption — with runtime
+    invariants checked after every cycle.  Exits non-zero on any
+    violation (see ``docs/robustness.md``).
 
 Every subcommand accepts ``--trace-out F`` (simulation-time trace; Chrome
 trace-event JSON by default, ``--trace-format jsonl`` for the event log)
@@ -359,6 +366,31 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Run the chaos soak harness; non-zero exit on invariant violations."""
+    from repro.experiments import soak
+
+    config = soak.SoakConfig(
+        n_cycles=args.cycles,
+        seed=args.seed,
+        n_tags=args.tags,
+        n_mobile=args.mobile,
+        crash_every=args.crash_every,
+        kill_every=args.kill_every,
+        corrupt_every=args.corrupt_every,
+        jam_every=args.jam_every,
+        blackout_every=args.blackout_every,
+        checkpoint_dir=args.checkpoint_dir or None,
+    )
+    report = soak.run(config)
+    _log.info(soak.format_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        _log.info(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
 def cmd_rospec(args: argparse.Namespace) -> int:
     """Plan a Phase II schedule and dump its ROSpec XML."""
     population = random_epc_population(args.population, rng=args.seed)
@@ -535,13 +567,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated figure ids (e.g. fig2,fig18)",
     )
 
+    p_soak = sub.add_parser(
+        "soak",
+        help="chaos soak the supervised runtime under seeded faults",
+        parents=obs_parents,
+    )
+    p_soak.add_argument("--cycles", type=int, default=2000)
+    p_soak.add_argument("--seed", type=int, default=0)
+    p_soak.add_argument("--tags", type=int, default=12)
+    p_soak.add_argument("--mobile", type=int, default=2)
+    p_soak.add_argument(
+        "--crash-every", type=int, default=80,
+        help="one reader crash per this many cycles (0 disables)",
+    )
+    p_soak.add_argument(
+        "--kill-every", type=int, default=400,
+        help="one middleware kill + warm restart per this many cycles",
+    )
+    p_soak.add_argument(
+        "--corrupt-every", type=int, default=500,
+        help="one checkpoint corruption at rest per this many cycles",
+    )
+    p_soak.add_argument("--jam-every", type=int, default=150)
+    p_soak.add_argument("--blackout-every", type=int, default=120)
+    p_soak.add_argument(
+        "--checkpoint-dir", default="",
+        help="checkpoint directory (default: a fresh temp directory)",
+    )
+    p_soak.add_argument(
+        "--out", default="", help="write the JSON soak report here"
+    )
+
     p_bench = sub.add_parser(
         "bench", help="profile the workloads: per-phase time budget",
         parents=obs_parents,
     )
     p_bench.add_argument(
         "--name", default="all",
-        help='comma-separated workload names, or "all" (fig02, fig18)',
+        help='comma-separated workload names, or "all" (fig02, fig18, soak)',
     )
     p_bench.add_argument(
         "--scale", choices=("smoke", "paper"), default="smoke"
@@ -564,6 +627,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "predict": cmd_predict,
     "rospec": cmd_rospec,
     "bench": cmd_bench,
+    "soak": cmd_soak,
 }
 
 

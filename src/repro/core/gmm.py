@@ -59,6 +59,30 @@ class GaussianMode:
     current_run: int = 0
     best_run: int = 0
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "weight": self.weight,
+            "n_matches": self.n_matches,
+            "current_run": self.current_run,
+            "best_run": self.best_run,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "GaussianMode":
+        return cls(
+            mean=float(record["mean"]),
+            std=float(record["std"]),
+            weight=float(record["weight"]),
+            n_matches=int(record["n_matches"]),
+            # Older snapshots predate run bookkeeping in the wire format;
+            # a restart then conservatively breaks the contiguous run.
+            current_run=int(record.get("current_run", 0)),
+            best_run=int(record["best_run"]),
+        )
+
     @property
     def priority(self) -> float:
         """The paper's ordering key r_k = w_k / delta_k."""
@@ -144,6 +168,24 @@ class GaussianMixtureStack:
         self.circular = circular
         self.modes: List[GaussianMode] = []
         self.n_updates = 0
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The stack's learning state (modes + counters), JSON-friendly."""
+        return {
+            "n_updates": self.n_updates,
+            "modes": [mode.to_dict() for mode in self.modes],
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, params: GmmParams, circular: bool = True
+    ) -> "GaussianMixtureStack":
+        """Rebuild a stack from :meth:`state_dict` output."""
+        stack = cls(params, circular=circular)
+        stack.n_updates = int(state["n_updates"])
+        stack.modes = [GaussianMode.from_dict(m) for m in state["modes"]]
+        return stack
 
     # ------------------------------------------------------------------
     def _distance(self, a: float, b: float) -> float:

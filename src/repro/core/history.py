@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.radio.measurement import TagObservation
 
@@ -40,6 +40,10 @@ class ReadingHistory:
         self.max_per_tag = max_per_tag
         self._by_tag: Dict[int, List[TagObservation]] = defaultdict(list)
         self.total_reads = 0
+        #: Registry carried over from a checkpoint: epc value -> (reads,
+        #: last-seen time) accumulated before the restart.  Raw
+        #: observations are not rehydrated — only the per-tag ledger.
+        self._baseline: Dict[int, Tuple[int, float]] = {}
 
     # ------------------------------------------------------------------
     def add(self, obs: TagObservation) -> None:
@@ -60,25 +64,57 @@ class ReadingHistory:
 
     # ------------------------------------------------------------------
     def epc_values(self) -> List[int]:
-        """All tag identities seen so far, sorted."""
-        return sorted(self._by_tag)
+        """All tag identities seen so far (this run or before), sorted."""
+        return sorted(set(self._by_tag) | set(self._baseline))
 
     def observations(self, epc_value: int) -> List[TagObservation]:
         """All stored observations of one tag."""
         return list(self._by_tag.get(epc_value, ()))
 
     def count(self, epc_value: int) -> int:
-        """Total readings stored for one tag."""
-        return len(self._by_tag.get(epc_value, ()))
+        """Total readings of one tag, including any checkpointed baseline."""
+        base = self._baseline.get(epc_value, (0, 0.0))[0]
+        return base + len(self._by_tag.get(epc_value, ()))
 
     def counts(self) -> Dict[int, int]:
-        """Readings per tag, as a dict."""
-        return {epc: len(obs) for epc, obs in self._by_tag.items()}
+        """Readings per tag (baseline included), as a dict."""
+        return {epc: self.count(epc) for epc in self.epc_values()}
 
     def last_seen(self, epc_value: int) -> Optional[float]:
         """Timestamp of the tag's latest reading, or None."""
         bucket = self._by_tag.get(epc_value)
-        return bucket[-1].time_s if bucket else None
+        if bucket:
+            return bucket[-1].time_s
+        if epc_value in self._baseline:
+            return self._baseline[epc_value][1]
+        return None
+
+    # ------------------------------------------------------------------
+    def registry(self) -> Dict[str, Dict[str, float]]:
+        """The per-tag ledger (reads + last seen), JSON-friendly.
+
+        This is what a checkpoint persists instead of raw observations:
+        enough to answer "has this tag ever been seen, and when last?"
+        after a restart without rehydrating megabytes of readings.
+        """
+        return {
+            f"{epc:x}": {
+                "n_reads": self.count(epc),
+                "last_seen_s": self.last_seen(epc),
+            }
+            for epc in self.epc_values()
+        }
+
+    def load_registry(self, registry: Dict[str, Dict[str, float]]) -> None:
+        """Install a checkpointed ledger as the baseline for this history."""
+        self._baseline = {
+            int(epc, 16): (
+                int(record["n_reads"]),
+                float(record["last_seen_s"]),
+            )
+            for epc, record in registry.items()
+        }
+        self.total_reads += sum(n for n, _ in self._baseline.values())
 
     # ------------------------------------------------------------------
     def reads_in_window(
@@ -111,4 +147,5 @@ class ReadingHistory:
     def clear(self) -> None:
         """Drop everything (a fresh deployment)."""
         self._by_tag.clear()
+        self._baseline.clear()
         self.total_reads = 0

@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.config import TagwatchConfig
 from repro.core.history import ReadingHistory
 from repro.core.motion import MotionAssessor, TagAssessment
+from repro.core.persistence import assessor_state, restore_assessor
 from repro.core.scheduler import SchedulePlan, TargetScheduler
 from repro.gen2.epc import EPC
 from repro.gen2.inventory import InventoryLog
@@ -217,6 +218,49 @@ class Tagwatch:
         ]
 
     # ------------------------------------------------------------------
+    # Checkpointable state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything a warm restart needs, as a JSON-serialisable dict.
+
+        Captures the learned immobility models (with pending cycle votes),
+        the tag registry/known population, the cycle counters, the
+        scheduler's tie-break RNG state, and the history ledger.  Restoring
+        this into a fresh Tagwatch over the same reader reproduces the
+        uninterrupted run's scheduling decisions.
+        """
+        return {
+            "cycle_index": self._cycle_index,
+            "next_rospec_id": self._next_rospec_id,
+            "assessor": assessor_state(self.assessor, include_votes=True),
+            "population": [
+                {
+                    "epc": f"{epc.value:x}",
+                    "length": epc.length,
+                    "seen_at": seen_at,
+                }
+                for _, (epc, seen_at) in sorted(self._population_seen.items())
+            ],
+            "scheduler_rng": self.scheduler.rng.bit_generator.state,
+            "history": self.history.registry(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Warm-restart this instance from :meth:`state_dict` output."""
+        self._cycle_index = int(state["cycle_index"])
+        self._next_rospec_id = int(state["next_rospec_id"])
+        self.assessor = restore_assessor(state["assessor"])
+        self._population_seen = {}
+        for record in state["population"]:
+            epc = EPC(int(record["epc"], 16), int(record["length"]))
+            self._population_seen[epc.value] = (epc, int(record["seen_at"]))
+        self._known_population = [
+            self._population_seen[v][0] for v in sorted(self._population_seen)
+        ]
+        self.scheduler.rng.bit_generator.state = state["scheduler_rng"]
+        self.history.load_registry(state["history"])
+
+    # ------------------------------------------------------------------
     def warm_up(self, duration_s: float) -> int:
         """Pre-train the immobility models with plain read-all inventory.
 
@@ -244,8 +288,14 @@ class Tagwatch:
         )
         return len(observations)
 
-    def run_cycle(self) -> CycleResult:
-        """Execute one full Phase I + Phase II cycle."""
+    def run_cycle(self, force_fallback: bool = False) -> CycleResult:
+        """Execute one full Phase I + Phase II cycle.
+
+        ``force_fallback=True`` makes Phase II a plain read-everything
+        inventory regardless of the assessment — the supervised runtime's
+        escalation ladder uses it to re-establish full coverage after a
+        recovery, while Phase I and the model updates still run normally.
+        """
         reader = self.client.reader
         tracer = get_tracer()
         cycle_index = self._cycle_index
@@ -324,7 +374,10 @@ class Tagwatch:
         n_seen = max(1, len(assessments))
         fallback = False
         fallback_reason = ""
-        if low_confidence:
+        if force_fallback:
+            fallback = True
+            fallback_reason = "full inventory forced by supervisor"
+        elif low_confidence:
             fallback = True
             fallback_reason = (
                 f"phase I confidence collapsed: saw {n_distinct} of "

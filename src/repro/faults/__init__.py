@@ -5,16 +5,20 @@
 - :mod:`repro.faults.reader` — a SimReader injecting at the radio boundary.
 
 See ``docs/faults.md`` for the taxonomy and the resilience knobs that pair
-with it on the client side (:mod:`repro.reader.resilience`).
+with it on the client side (:mod:`repro.reader.resilience`), and
+``docs/robustness.md`` for the supervised runtime that recovers from the
+heavier faults (reader crashes, jamming bursts).
 """
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import AntennaBlackout, FaultPlan
+from repro.faults.plan import AntennaBlackout, ChannelJam, FaultPlan, ReaderCrash
 from repro.faults.reader import FaultyReader
 
 __all__ = [
     "AntennaBlackout",
+    "ChannelJam",
     "FaultInjector",
     "FaultPlan",
     "FaultyReader",
+    "ReaderCrash",
 ]

@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, ReaderCrash
 from repro.radio.measurement import TagObservation
 from repro.util.circular import TWO_PI
 from repro.util.metrics import MetricsRegistry
@@ -58,6 +58,9 @@ class FaultInjector:
         self._burst_bad = False
         self._held: List[TagObservation] = []
         self._pending_disconnects: List[float] = list(plan.disconnect_at_s)
+        self._pending_crashes: List[ReaderCrash] = list(plan.crashes)
+        self._current_crash: Optional[ReaderCrash] = None
+        self.n_crashes_fired = 0
 
     # ------------------------------------------------------------------
     # Connection faults
@@ -82,6 +85,60 @@ class FaultInjector:
         return tuple(self._pending_disconnects)
 
     # ------------------------------------------------------------------
+    # Reader crashes
+    # ------------------------------------------------------------------
+    def schedule_crash(self, crash: ReaderCrash) -> None:
+        """Add a crash window at runtime (the soak harness's chaos knob).
+
+        The window must lie in the future and must not overlap any crash
+        still pending — a reader cannot die while it is already dead.
+        """
+        current = self._current_crash
+        windows = list(self._pending_crashes) + ([current] if current else [])
+        for other in windows:
+            if crash.at_s < other.up_at_s and other.at_s < crash.up_at_s:
+                raise ValueError("crash window overlaps a pending crash")
+        self._pending_crashes.append(crash)
+        self._pending_crashes.sort(key=lambda c: c.at_s)
+
+    def _fire_crash(self, crash: ReaderCrash) -> ReaderCrash:
+        self._pending_crashes.remove(crash)
+        self._current_crash = crash
+        self.n_crashes_fired += 1
+        self.metrics.counter("faults.crashes").inc()
+        return crash
+
+    def blocking_crash(self, time_s: float) -> Optional[ReaderCrash]:
+        """The crash keeping the reader down at ``time_s``, if any.
+
+        A pending crash whose window has been entered fires (once) as a
+        side effect; a fired crash keeps blocking until its reboot time.
+        """
+        if self._current_crash is not None:
+            if self._current_crash.covers(time_s):
+                return self._current_crash
+            self._current_crash = None
+        for crash in self._pending_crashes:
+            if crash.covers(time_s):
+                return self._fire_crash(crash)
+            if crash.at_s > time_s:
+                break
+        return None
+
+    def take_crash(self, start_s: float, end_s: float) -> Optional[ReaderCrash]:
+        """A crash that struck mid-operation, inside ``(start_s, end_s]``."""
+        for crash in self._pending_crashes:
+            if start_s < crash.at_s <= end_s:
+                return self._fire_crash(crash)
+            if crash.at_s > end_s:
+                break
+        return None
+
+    @property
+    def pending_crashes(self) -> Sequence[ReaderCrash]:
+        return tuple(self._pending_crashes)
+
+    # ------------------------------------------------------------------
     # Report faults
     # ------------------------------------------------------------------
     def apply_round(
@@ -103,6 +160,9 @@ class FaultInjector:
         for obs in observations:
             if self._blacked_out(obs):
                 self.metrics.counter("faults.dropped_blackout").inc()
+                continue
+            if self._jammed(obs):
+                self.metrics.counter("faults.dropped_jamming").inc()
                 continue
             if plan.burst_enter > 0 and self._burst_drop():
                 self.metrics.counter("faults.dropped_burst").inc()
@@ -156,6 +216,11 @@ class FaultInjector:
     def _blacked_out(self, obs: TagObservation) -> bool:
         return any(
             b.covers(obs.antenna_index, obs.time_s) for b in self.plan.blackouts
+        )
+
+    def _jammed(self, obs: TagObservation) -> bool:
+        return any(
+            j.covers(obs.channel_index, obs.time_s) for j in self.plan.jams
         )
 
     def _burst_drop(self) -> bool:

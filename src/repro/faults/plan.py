@@ -27,7 +27,15 @@ The taxonomy (see ``docs/faults.md``):
   ``disconnect_at_s``; in-flight reports of the interrupted operation are
   lost and the client must reconnect;
 - **antenna blackouts** — ``(antenna_index, start_s, end_s)`` windows during
-  which one antenna's reports all vanish (cable knocked loose, port fault).
+  which one antenna's reports all vanish (cable knocked loose, port fault);
+- **reader crashes** — at ``at_s`` the reader dies for ``downtime_s``
+  seconds: every operation fails until it reboots, in-flight reports are
+  lost, and the reboot bumps the reader's ``session_epoch`` so clients know
+  that all reader-held session state (registered ROSpecs, Select flags) is
+  gone and must be re-established;
+- **channel jamming bursts** — ``(channel_index, start_s, end_s)`` windows
+  during which every report on one hopping channel is destroyed by an
+  interferer (``channel_index=-1`` jams the whole band).
 
 All probabilities default to zero and a zero plan is a *strict no-op*: the
 injector draws no random numbers and returns its inputs unchanged, so
@@ -71,6 +79,72 @@ class AntennaBlackout:
         }
 
 
+@dataclass(frozen=True)
+class ReaderCrash:
+    """The reader process dies at ``at_s`` and reboots ``downtime_s`` later.
+
+    While down, every operation raises a connection error without advancing
+    time (the box is simply gone); after the reboot the reader answers again
+    but has forgotten all session state, which it signals by incrementing
+    its ``session_epoch``.
+    """
+
+    at_s: float
+    downtime_s: float
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("crash time must be non-negative")
+        if self.downtime_s <= 0:
+            raise ValueError("crash downtime must be positive")
+
+    @property
+    def up_at_s(self) -> float:
+        """First simulated time at which the rebooted reader answers."""
+        return self.at_s + self.downtime_s
+
+    def covers(self, time_s: float) -> bool:
+        """True while the reader is down at ``time_s``."""
+        return self.at_s <= time_s < self.up_at_s
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-friendly form (inverse of the constructor kwargs)."""
+        return {"at_s": self.at_s, "downtime_s": self.downtime_s}
+
+
+@dataclass(frozen=True)
+class ChannelJam:
+    """An interferer destroying one channel's reports during a window.
+
+    ``channel_index=-1`` jams every channel (a wide-band interferer).
+    """
+
+    channel_index: int
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.channel_index < -1:
+            raise ValueError("channel index must be >= -1")
+        if self.end_s <= self.start_s:
+            raise ValueError("jam window must have positive width")
+
+    def covers(self, channel_index: int, time_s: float) -> bool:
+        """True when a report on this channel at this time is destroyed."""
+        return (
+            self.channel_index in (-1, channel_index)
+            and self.start_s <= time_s < self.end_s
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-friendly form (inverse of the constructor kwargs)."""
+        return {
+            "channel_index": self.channel_index,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+        }
+
+
 _PROBABILITY_FIELDS = (
     "report_loss",
     "burst_enter",
@@ -106,6 +180,10 @@ class FaultPlan:
     disconnect_at_s: Tuple[float, ...] = ()
     #: Antenna outage windows.
     blackouts: Tuple[AntennaBlackout, ...] = ()
+    #: Reader crash/reboot windows (sorted by crash time).
+    crashes: Tuple[ReaderCrash, ...] = ()
+    #: Channel jamming bursts.
+    jams: Tuple[ChannelJam, ...] = ()
 
     def __post_init__(self) -> None:
         for name in _PROBABILITY_FIELDS:
@@ -125,6 +203,14 @@ class FaultPlan:
             object.__setattr__(
                 self, "disconnect_at_s", tuple(sorted(self.disconnect_at_s))
             )
+        by_time = tuple(sorted(self.crashes, key=lambda c: c.at_s))
+        if by_time != self.crashes:
+            object.__setattr__(self, "crashes", by_time)
+        for earlier, later in zip(self.crashes, self.crashes[1:]):
+            if later.at_s < earlier.up_at_s:
+                raise ValueError(
+                    "crash windows overlap: the reader cannot die twice"
+                )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -139,6 +225,8 @@ class FaultPlan:
             all(getattr(self, f) == 0.0 for f in _PROBABILITY_FIELDS if f != "burst_exit")
             and not self.disconnect_at_s
             and not self.blackouts
+            and not self.crashes
+            and not self.jams
         )
 
     def scaled(self, factor: float) -> "FaultPlan":
@@ -158,8 +246,8 @@ class FaultPlan:
         data: Dict[str, object] = {}
         for f in fields(self):
             value = getattr(self, f.name)
-            if f.name == "blackouts":
-                data[f.name] = [b.to_dict() for b in value]
+            if f.name in ("blackouts", "crashes", "jams"):
+                data[f.name] = [item.to_dict() for item in value]
             elif f.name == "disconnect_at_s":
                 data[f.name] = list(value)
             else:
@@ -176,6 +264,14 @@ class FaultPlan:
         if "blackouts" in kwargs:
             kwargs["blackouts"] = tuple(
                 AntennaBlackout(**b) for b in kwargs["blackouts"]  # type: ignore[arg-type]
+            )
+        if "crashes" in kwargs:
+            kwargs["crashes"] = tuple(
+                ReaderCrash(**c) for c in kwargs["crashes"]  # type: ignore[arg-type]
+            )
+        if "jams" in kwargs:
+            kwargs["jams"] = tuple(
+                ChannelJam(**j) for j in kwargs["jams"]  # type: ignore[arg-type]
             )
         if "disconnect_at_s" in kwargs:
             kwargs["disconnect_at_s"] = tuple(kwargs["disconnect_at_s"])  # type: ignore[arg-type]

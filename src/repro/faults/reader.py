@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, ReaderCrash
 from repro.gen2.commands import Select
 from repro.gen2.timing import LinkTiming, R420_PROFILE
 from repro.reader.client import ReaderConnectionError
@@ -45,10 +45,26 @@ class FaultyReader(SimReader):
             seed=self._streams.child_seed("faults") if fault_seed is None else fault_seed,
             metrics=metrics,
         )
+        #: Bumped on every crash: reader-held session state (registered
+        #: ROSpecs, Select flags) did not survive the reboot.  Clients
+        #: compare epochs after reconnecting to know whether to re-issue.
+        self.session_epoch = 0
+        self._last_crash: Optional[ReaderCrash] = None
 
     @property
     def metrics(self) -> MetricsRegistry:
         return self.injector.metrics
+
+    def _session_lost(self, crash: ReaderCrash) -> None:
+        if crash is not self._last_crash:
+            self._last_crash = crash
+            self.session_epoch += 1
+
+    def _crash_possible(self) -> bool:
+        return (
+            self.injector._current_crash is not None
+            or bool(self.injector.pending_crashes)
+        )
 
     # ------------------------------------------------------------------
     def inventory_round(
@@ -57,7 +73,16 @@ class FaultyReader(SimReader):
         selects: Sequence[Select] = (),
         max_duration_s: Optional[float] = None,
     ) -> RoundResult:
-        if self.injector.plan.is_noop:
+        crash = self.injector.blocking_crash(self.time_s)
+        if crash is not None:
+            # The box is down: the operation fails instantly, without
+            # advancing time — recovery time is the *caller's* backoff.
+            self._session_lost(crash)
+            raise ReaderConnectionError(
+                f"reader down: crashed at t={crash.at_s:.3f}s, "
+                f"rebooting at t={crash.up_at_s:.3f}s"
+            )
+        if self.injector.plan.is_noop and not self._crash_possible():
             return super().inventory_round(antenna_index, selects, max_duration_s)
         round_start_s = self.time_s
         # Suppress the base class's per-report callbacks: consumers must
@@ -69,6 +94,19 @@ class FaultyReader(SimReader):
             )
         finally:
             self._report_callbacks = callbacks
+
+        crashed = self.injector.take_crash(round_start_s, self.time_s)
+        if crashed is not None:
+            # The reader died mid-round: the round's reports are gone and
+            # the session state died with the process.
+            self._session_lost(crashed)
+            self.injector.metrics.counter("faults.reports_lost_crash").inc(
+                len(result.observations)
+            )
+            raise ReaderConnectionError(
+                f"reader crashed at t={crashed.at_s:.3f}s, "
+                f"rebooting at t={crashed.up_at_s:.3f}s"
+            )
 
         dropped_at = self.injector.take_disconnect(round_start_s, self.time_s)
         if dropped_at is not None:

@@ -107,9 +107,36 @@ def _fig18_workload(scale: str) -> Dict[str, object]:
     }
 
 
+def _soak_workload(scale: str) -> Dict[str, object]:
+    """A chaos soak under the supervised runtime (recovery overhead)."""
+    from repro.experiments import soak
+
+    if scale == "smoke":
+        config = soak.SoakConfig(
+            n_cycles=120,
+            seed=5,
+            crash_every=30,
+            kill_every=60,
+            corrupt_every=50,
+            jam_every=40,
+            blackout_every=40,
+        )
+    else:
+        config = soak.SoakConfig(seed=5)
+    report = soak.run(config)
+    return {
+        "n_cycles": report.n_cycles,
+        "n_crashes_fired": report.n_crashes_fired,
+        "n_restarts": report.n_restarts,
+        "n_checkpoints": report.n_checkpoints,
+        "n_violations": len(report.violations),
+    }
+
+
 WORKLOADS: Dict[str, Callable[[str], Dict[str, object]]] = {
     "fig02": _fig02_workload,
     "fig18": _fig18_workload,
+    "soak": _soak_workload,
 }
 
 
@@ -126,6 +153,7 @@ def _analyze(records: Sequence[object]) -> Dict[str, object]:
         "warmup_s": 0.0,
         "scheduler_cpu_s": 0.0,
         "assessment_cpu_s": 0.0,
+        "checkpoint_cpu_s": 0.0,
     }
     counts: Dict[str, int] = {
         "spans": 0,
@@ -137,6 +165,12 @@ def _analyze(records: Sequence[object]) -> Dict[str, object]:
         "setcover_iterations": 0,
         "gmm_classifications": 0,
         "client_retries": 0,
+        "checkpoint_writes": 0,
+        "checkpoint_loads": 0,
+        "watchdog_fires": 0,
+        "escalations": 0,
+        "restarts": 0,
+        "session_restores": 0,
     }
     t_min: Optional[float] = None
     t_max: Optional[float] = None
@@ -164,6 +198,8 @@ def _analyze(records: Sequence[object]) -> Dict[str, object]:
                 breakdown["scheduler_cpu_s"] += record.wall_duration_s
             elif record.name == "assess":
                 breakdown["assessment_cpu_s"] += record.wall_duration_s
+            elif record.name == "checkpoint":
+                breakdown["checkpoint_cpu_s"] += record.wall_duration_s
         elif isinstance(record, TraceEvent):
             counts["events"] += 1
             if record.name == "select":
@@ -177,6 +213,21 @@ def _analyze(records: Sequence[object]) -> Dict[str, object]:
                 counts["gmm_classifications"] += 1
             elif record.name == "client.retry":
                 counts["client_retries"] += 1
+            elif record.name == "checkpoint.write":
+                counts["checkpoint_writes"] += 1
+            elif record.name == "checkpoint.load":
+                counts["checkpoint_loads"] += 1
+            elif record.name == "watchdog.fire":
+                counts["watchdog_fires"] += 1
+            elif record.name == "supervisor.escalate":
+                counts["escalations"] += 1
+            elif record.name == "supervisor.restart":
+                counts["restarts"] += 1
+            elif record.name in (
+                "client.session_restore",
+                "client.session_recover",
+            ):
+                counts["session_restores"] += 1
     sim_s = 0.0 if t_min is None or t_max is None else t_max - t_min
     return {"breakdown": breakdown, "counts": counts, "sim_s": sim_s}
 

@@ -155,6 +155,18 @@ class LLRPClient:
         """Ids of all registered ROSpecs, sorted."""
         return sorted(self._rospecs)
 
+    def clear_rospecs(self) -> int:
+        """Tear down every registered ROSpec; returns how many were dropped.
+
+        Session recovery uses this after a reader reboot: the reader has
+        forgotten its ROSpec table, so the client-side registry must not
+        pretend otherwise.
+        """
+        dropped = len(self._rospecs)
+        self._rospecs.clear()
+        self._enabled.clear()
+        return dropped
+
     def get_rospec(self, rospec_id: int) -> Optional[ROSpec]:
         """The registered ROSpec with this id, or None."""
         return self._rospecs.get(rospec_id)

@@ -14,8 +14,16 @@ batches.  :class:`ResilientLLRPClient` wraps ROSpec execution with:
   operations the client stops hammering the reader for
   ``breaker_cooldown_s`` of simulated time and fails fast instead, which is
   what lets the middleware above degrade gracefully rather than hang;
+- **session recovery** — the client tracks the keepalive gap (simulated
+  time since the last successful reader operation) and the reader's
+  *session epoch*; a reader that crashed and rebooted bumps its epoch, and
+  the client responds by tearing down and re-issuing its registered
+  ROSpecs (Select state included) instead of trusting a session the reader
+  has forgotten.  :meth:`ResilientLLRPClient.recover_session` performs the
+  same teardown/re-issue on demand — the supervised runtime's watchdog
+  calls it when the keepalive gap exceeds its bound;
 - **structured metrics** (:mod:`repro.util.metrics`) for every retry,
-  reconnect, backoff interval, and abandoned operation.
+  reconnect, backoff interval, session recovery, and abandoned operation.
 
 All jitter is drawn from a generator derived from an explicit seed, so a
 faulted run is bit-reproducible end to end.
@@ -115,6 +123,8 @@ class ResilientLLRPClient(LLRPClient):
         self._rng = derive_rng(int(seed), "client.backoff")
         self._consecutive_failures = 0
         self._breaker_open_until: Optional[float] = None
+        self._last_ok_s = reader.time_s
+        self._session_epoch = getattr(reader, "session_epoch", 0)
 
     # ------------------------------------------------------------------
     # Connection management
@@ -129,6 +139,70 @@ class ResilientLLRPClient(LLRPClient):
             get_tracer().event(
                 "client.reconnect", t=self.reader.time_s, category="resilience"
             )
+        self._check_session_epoch()
+
+    def _check_session_epoch(self) -> None:
+        """Re-issue session state if the reader rebooted since we last spoke.
+
+        A crashed-and-rebooted reader answers again but has forgotten its
+        ROSpec table and Select flags; it signals that by bumping its
+        session epoch.  Pretending the old session survived would silently
+        run empty operations, so the registered ROSpecs are re-issued.
+        """
+        epoch = getattr(self.reader, "session_epoch", 0)
+        if epoch == self._session_epoch:
+            return
+        self._session_epoch = epoch
+        reissued = self._reissue_rospecs()
+        self.metrics.counter("client.sessions_reestablished").inc()
+        get_tracer().event(
+            "client.session_restore",
+            t=self.reader.time_s,
+            category="resilience",
+            epoch=epoch,
+            n_rospecs=reissued,
+        )
+
+    def _reissue_rospecs(self) -> int:
+        """Replay add/enable for every registered ROSpec; returns count."""
+        registered = [
+            (self._rospecs[rid], self._enabled[rid]) for rid in self.rospec_ids()
+        ]
+        self.clear_rospecs()
+        for rospec, enabled in registered:
+            self.add_rospec(rospec)
+            if enabled:
+                self.enable_rospec(rospec.rospec_id)
+        return len(registered)
+
+    @property
+    def keepalive_gap_s(self) -> float:
+        """Simulated time since the reader last completed an operation."""
+        return self.reader.time_s - self._last_ok_s
+
+    def recover_session(self) -> int:
+        """Tear down and re-establish the LLRP session; returns re-issues.
+
+        The escalation path for a session that looks wedged (keepalive gap
+        past its bound, repeated abandoned operations): reconnect, sync the
+        session epoch, re-issue every registered ROSpec with its Select
+        state, and reset the circuit breaker so the next operation is
+        actually attempted rather than fast-failed.
+        """
+        self.state = ReaderState.CONNECTED
+        self._session_epoch = getattr(self.reader, "session_epoch", 0)
+        reissued = self._reissue_rospecs()
+        self._consecutive_failures = 0
+        self._breaker_open_until = None
+        self._last_ok_s = self.reader.time_s
+        self.metrics.counter("client.session_recoveries").inc()
+        get_tracer().event(
+            "client.session_recover",
+            t=self.reader.time_s,
+            category="resilience",
+            n_rospecs=reissued,
+        )
+        return reissued
 
     @property
     def breaker_open(self) -> bool:
@@ -155,6 +229,7 @@ class ResilientLLRPClient(LLRPClient):
     def _record_success(self) -> None:
         self._consecutive_failures = 0
         self._breaker_open_until = None
+        self._last_ok_s = self.reader.time_s
 
     # ------------------------------------------------------------------
     # Resilient execution

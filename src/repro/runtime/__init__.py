@@ -1,0 +1,44 @@
+"""The supervised Tagwatch runtime: crash-safe, self-healing deployments.
+
+Tagwatch is middleware meant to run unattended for months (the paper's
+warehouse-sorting scenario).  This package wraps the two-phase loop with
+the machinery a real deployment needs to survive that:
+
+- :mod:`repro.runtime.checkpoint` — periodic atomic snapshots of the
+  learned GMMs, tag registry, scheduler state and cycle counters, with a
+  config hash so a snapshot from an incompatible deployment is rejected;
+- :mod:`repro.runtime.supervisor` — per-cycle watchdog deadlines on
+  simulated time with a retry → full-inventory → supervised-restart
+  escalation ladder, plus LLRP session recovery;
+- :mod:`repro.runtime.invariants` — runtime checkers the chaos soak
+  harness (:mod:`repro.experiments.soak`) asserts after every cycle.
+
+See ``docs/robustness.md`` for the state machine and the soak harness.
+"""
+
+from repro.runtime.checkpoint import (
+    CheckpointStore,
+    CheckpointUnavailable,
+    config_fingerprint,
+)
+from repro.runtime.invariants import InvariantSuite, Violation
+from repro.runtime.supervisor import (
+    EscalationLevel,
+    SupervisedCycle,
+    Supervisor,
+    SupervisorConfig,
+    WatchdogPolicy,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "CheckpointUnavailable",
+    "EscalationLevel",
+    "InvariantSuite",
+    "SupervisedCycle",
+    "Supervisor",
+    "SupervisorConfig",
+    "Violation",
+    "WatchdogPolicy",
+    "config_fingerprint",
+]

@@ -1,0 +1,222 @@
+"""Runtime invariant checkers for supervised (chaos-soaked) deployments.
+
+The chaos soak harness (:mod:`repro.experiments.soak`) runs thousands of
+cycles under seeded fault schedules and asserts, after *every* cycle, that
+recovery machinery never trades correctness for liveness:
+
+- **no phantom EPCs** — every identity in the reading history and the
+  Tagwatch registry corresponds to a tag that physically exists in the
+  scene (report corruption, checkpoint corruption, or a bad warm restart
+  would all surface here first);
+- **no duplicate registry entries** — the known-population list holds each
+  EPC at most once, whatever order crashes and restores happened in;
+- **bounded staleness for mobile tags** — a tag that is present, in
+  antenna range, and moving must be read at least once every
+  ``staleness_healthy_cycles`` *healthy* cycles (unhealthy cycles are the
+  fault's fault, not the scheduler's, and don't count against the bound);
+- **recovery convergence** — the escalation ladder must return the system
+  to a healthy cycle within ``max_consecutive_unhealthy`` cycles; a
+  supervisor stuck bouncing between restarts forever is a liveness bug
+  even if every individual cycle "handled" its error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.core.tagwatch import Tagwatch
+from repro.runtime.supervisor import SupervisedCycle
+from repro.world.scene import Scene, TagInstance
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, attributed to the cycle that exposed it."""
+
+    cycle_index: int
+    name: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[cycle {self.cycle_index}] {self.name}: {self.detail}"
+
+
+class InvariantSuite:
+    """Stateful checker run against every supervised cycle.
+
+    Parameters
+    ----------
+    scene:
+        Physical ground truth (tag identities, presence, motion).
+    mobile_epc_values:
+        The tags whose staleness is bounded — typically every tag with a
+        non-stationary trajectory.  Tags absent or out of range during a
+        cycle are excused for that cycle.
+    staleness_healthy_cycles:
+        Maximum consecutive *healthy* cycles a qualifying mobile tag may
+        go unread.
+    max_consecutive_unhealthy:
+        Maximum consecutive unhealthy cycles before recovery is declared
+        divergent.
+    """
+
+    def __init__(
+        self,
+        scene: Scene,
+        mobile_epc_values: Set[int],
+        staleness_healthy_cycles: int = 3,
+        max_consecutive_unhealthy: int = 12,
+    ) -> None:
+        if staleness_healthy_cycles < 1:
+            raise ValueError("staleness bound must be at least one cycle")
+        if max_consecutive_unhealthy < 1:
+            raise ValueError("divergence bound must be at least one cycle")
+        self.scene = scene
+        self.true_epc_values = {tag.epc.value for tag in scene.tags}
+        unknown = set(mobile_epc_values) - self.true_epc_values
+        if unknown:
+            raise ValueError(f"mobile EPCs not in scene: {sorted(unknown)}")
+        self.mobile_epc_values = set(mobile_epc_values)
+        self.staleness_healthy_cycles = staleness_healthy_cycles
+        self.max_consecutive_unhealthy = max_consecutive_unhealthy
+        self._tag_by_value: Dict[int, TagInstance] = {
+            tag.epc.value: tag for tag in scene.tags
+        }
+        #: Healthy cycles since each mobile tag was last read.
+        self._unread_healthy: Dict[int, int] = {
+            value: 0 for value in self.mobile_epc_values
+        }
+        self._consecutive_unhealthy = 0
+        self.violations: List[Violation] = []
+
+    # ------------------------------------------------------------------
+    def _in_coverage(self, tag: TagInstance, t0: float, t1: float) -> bool:
+        """Whether a tag was present and reachable across [t0, t1]."""
+        if not (tag.is_present(t0) and tag.is_present(t1)):
+            return False
+        for antenna_index in range(len(self.scene.antennas)):
+            index = self.scene.index_of(tag.epc)
+            if index in self.scene.tags_in_range(antenna_index, t0) and (
+                index in self.scene.tags_in_range(antenna_index, t1)
+            ):
+                return True
+        return False
+
+    def _check_phantoms(
+        self, cycle_index: int, tagwatch: Tagwatch
+    ) -> List[Violation]:
+        out = []
+        history_epcs = set(tagwatch.history.epc_values())
+        for value in sorted(history_epcs - self.true_epc_values):
+            out.append(
+                Violation(
+                    cycle_index,
+                    "phantom-epc-history",
+                    f"history holds EPC {value:x} which no scene tag carries",
+                )
+            )
+        registry_epcs = {epc.value for epc in tagwatch._known_population}
+        for value in sorted(registry_epcs - self.true_epc_values):
+            out.append(
+                Violation(
+                    cycle_index,
+                    "phantom-epc-registry",
+                    f"registry holds EPC {value:x} which no scene tag carries",
+                )
+            )
+        return out
+
+    def _check_registry_unique(
+        self, cycle_index: int, tagwatch: Tagwatch
+    ) -> List[Violation]:
+        values = [epc.value for epc in tagwatch._known_population]
+        if len(values) == len(set(values)):
+            return []
+        seen: Set[int] = set()
+        duplicates = sorted({v for v in values if v in seen or seen.add(v)})
+        return [
+            Violation(
+                cycle_index,
+                "duplicate-registry-epc",
+                f"registry holds duplicates: {[f'{v:x}' for v in duplicates]}",
+            )
+        ]
+
+    def _check_staleness(
+        self, cycle_index: int, supervised: SupervisedCycle
+    ) -> List[Violation]:
+        result = supervised.result
+        read_values = {
+            obs.epc.value
+            for obs in result.phase1_observations + result.phase2_observations
+        }
+        out = []
+        for value in sorted(self.mobile_epc_values):
+            if value in read_values:
+                self._unread_healthy[value] = 0
+                continue
+            tag = self._tag_by_value[value]
+            if not self._in_coverage(
+                tag, result.phase1_start_s, result.phase2_end_s
+            ):
+                # Absent/blocked/out-of-range tags can't be read; their
+                # staleness clock restarts when they become readable again.
+                self._unread_healthy[value] = 0
+                continue
+            if not supervised.healthy:
+                continue  # faulted cycle: not the scheduler's miss
+            self._unread_healthy[value] += 1
+            if self._unread_healthy[value] > self.staleness_healthy_cycles:
+                out.append(
+                    Violation(
+                        cycle_index,
+                        "stale-mobile-tag",
+                        f"EPC {value:x} unread for "
+                        f"{self._unread_healthy[value]} healthy cycles "
+                        f"(bound {self.staleness_healthy_cycles})",
+                    )
+                )
+        return out
+
+    def _check_convergence(
+        self, cycle_index: int, supervised: SupervisedCycle
+    ) -> List[Violation]:
+        if supervised.healthy:
+            self._consecutive_unhealthy = 0
+            return []
+        self._consecutive_unhealthy += 1
+        if self._consecutive_unhealthy <= self.max_consecutive_unhealthy:
+            return []
+        return [
+            Violation(
+                cycle_index,
+                "recovery-divergence",
+                f"{self._consecutive_unhealthy} consecutive unhealthy cycles "
+                f"(bound {self.max_consecutive_unhealthy}); "
+                f"last reasons: {'; '.join(supervised.reasons)}",
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    def check(
+        self, supervised: SupervisedCycle, tagwatch: Tagwatch
+    ) -> List[Violation]:
+        """Check every invariant after one cycle; returns new violations.
+
+        Violations also accumulate on :attr:`violations` so a soak run can
+        assert on the whole history at the end.
+        """
+        cycle_index = supervised.index
+        new = (
+            self._check_phantoms(cycle_index, tagwatch)
+            + self._check_registry_unique(cycle_index, tagwatch)
+            + self._check_staleness(cycle_index, supervised)
+            + self._check_convergence(cycle_index, supervised)
+        )
+        self.violations.extend(new)
+        return new
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations

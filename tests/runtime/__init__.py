@@ -1,0 +1,1 @@
+"""Tests for the supervised runtime (checkpointing, watchdog, soak)."""

@@ -1,0 +1,157 @@
+"""Checkpoint envelopes, rotation, corruption handling, config hashes."""
+
+import json
+
+import pytest
+
+from repro.core import TagwatchConfig
+from repro.core.persistence import (
+    SnapshotCorruptionError,
+    SnapshotError,
+    SnapshotMismatchError,
+    payload_checksum,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.experiments.harness import build_lab
+from repro.runtime import (
+    CheckpointStore,
+    CheckpointUnavailable,
+    config_fingerprint,
+)
+
+PAYLOAD = {"cycle_index": 7, "modes": [1.0, 2.5], "registry": {"ab": 3}}
+
+
+class TestSnapshotEnvelope:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "snap.json"
+        n_bytes = write_snapshot(
+            path, PAYLOAD, config_hash="cafe", sim_time_s=12.5, cycle_index=7
+        )
+        assert n_bytes == path.stat().st_size > 0
+        envelope = read_snapshot(path, expected_config_hash="cafe")
+        assert envelope["payload"] == PAYLOAD
+        assert envelope["config_hash"] == "cafe"
+        assert envelope["sim_time_s"] == 12.5
+        assert envelope["cycle_index"] == 7
+        assert envelope["checksum"] == payload_checksum(PAYLOAD)
+
+    def test_checksum_detects_payload_tampering(self, tmp_path):
+        path = tmp_path / "snap.json"
+        write_snapshot(path, PAYLOAD, config_hash="cafe")
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["cycle_index"] = 99
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SnapshotCorruptionError, match="checksum"):
+            read_snapshot(path)
+
+    def test_garbage_bytes_are_corruption_not_a_crash(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_bytes(b"\x00\xff not json at all")
+        with pytest.raises(SnapshotError):
+            read_snapshot(path)
+
+    def test_truncated_file_is_corruption(self, tmp_path):
+        path = tmp_path / "snap.json"
+        write_snapshot(path, PAYLOAD, config_hash="cafe")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotError):
+            read_snapshot(path)
+
+    def test_config_hash_mismatch_is_its_own_error(self, tmp_path):
+        path = tmp_path / "snap.json"
+        write_snapshot(path, PAYLOAD, config_hash="cafe")
+        with pytest.raises(SnapshotMismatchError, match="config hash"):
+            read_snapshot(path, expected_config_hash="beef")
+        # Not passing a hash skips the check entirely.
+        assert read_snapshot(path)["payload"] == PAYLOAD
+
+
+class TestCheckpointStore:
+    def test_rotation_keeps_newest_generations(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.json", retain=2)
+        for cycle in range(3):
+            store.save({"cycle": cycle}, config_hash="h", cycle_index=cycle)
+        generations = store.generations()
+        assert [p.name for p in generations] == ["ckpt.json", "ckpt.json.1"]
+        newest = read_snapshot(generations[0])
+        previous = read_snapshot(generations[1])
+        assert newest["payload"] == {"cycle": 2}
+        assert previous["payload"] == {"cycle": 1}  # cycle 0 rotated out
+
+    def test_load_latest_returns_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.json", retain=3)
+        for cycle in range(2):
+            store.save({"cycle": cycle}, config_hash="h")
+        envelope, path = store.load_latest(expected_config_hash="h")
+        assert envelope["payload"] == {"cycle": 1}
+        assert path == store.generation_path(0)
+
+    def test_load_latest_skips_corrupt_generation(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.json", retain=2)
+        store.save({"cycle": 0}, config_hash="h")
+        store.save({"cycle": 1}, config_hash="h")
+        newest = store.generation_path(0)
+        newest.write_bytes(b"\x84\x00 corrupted at rest")
+        envelope, path = store.load_latest(expected_config_hash="h")
+        assert envelope["payload"] == {"cycle": 0}
+        assert path == store.generation_path(1)
+
+    def test_unavailable_when_every_generation_is_bad(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.json", retain=2)
+        with pytest.raises(CheckpointUnavailable):
+            store.load_latest()
+        store.save({"cycle": 0}, config_hash="h")
+        store.generation_path(0).write_bytes(b"junk")
+        with pytest.raises(CheckpointUnavailable):
+            store.load_latest()
+
+    def test_mismatch_propagates_instead_of_degrading_to_older(self, tmp_path):
+        # An older generation would mismatch too: the caller must know to
+        # cold-start rather than silently resume an incompatible snapshot.
+        store = CheckpointStore(tmp_path / "ckpt.json", retain=2)
+        store.save({"cycle": 0}, config_hash="deployment-a")
+        store.save({"cycle": 1}, config_hash="deployment-a")
+        with pytest.raises(SnapshotMismatchError):
+            store.load_latest(expected_config_hash="deployment-b")
+
+    def test_retain_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path / "ckpt.json", retain=0)
+
+
+class TestConfigFingerprint:
+    def test_stable_for_identical_deployments(self):
+        a = build_lab(n_tags=8, n_mobile=1, seed=3)
+        b = build_lab(n_tags=8, n_mobile=1, seed=3)
+        config = TagwatchConfig()
+        assert config_fingerprint(a.scene, config) == config_fingerprint(
+            b.scene, config
+        )
+
+    def test_differs_when_population_size_differs(self):
+        config = TagwatchConfig()
+        a = build_lab(n_tags=8, n_mobile=1, seed=3)
+        b = build_lab(n_tags=9, n_mobile=1, seed=3)
+        assert config_fingerprint(a.scene, config) != config_fingerprint(
+            b.scene, config
+        )
+
+    def test_differs_when_model_knobs_differ(self):
+        lab = build_lab(n_tags=8, n_mobile=1, seed=3)
+        base = config_fingerprint(lab.scene, TagwatchConfig())
+        changed = config_fingerprint(
+            lab.scene, TagwatchConfig(expire_after_s=123.0)
+        )
+        assert base != changed
+
+    def test_insensitive_to_presence_churn(self):
+        # Blocked intervals model churn without changing the deployment,
+        # so a mid-soak checkpoint must stay loadable.
+        lab = build_lab(n_tags=8, n_mobile=1, seed=3)
+        config = TagwatchConfig()
+        before = config_fingerprint(lab.scene, config)
+        lab.scene.tags[3].blocked_intervals = ((10.0, 20.0),)
+        assert config_fingerprint(lab.scene, config) == before

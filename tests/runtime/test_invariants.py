@@ -1,0 +1,216 @@
+"""Invariant suite: phantoms, duplicates, staleness, convergence."""
+
+import pytest
+
+from repro.core import TagwatchConfig
+from repro.core.tagwatch import CycleResult
+from repro.experiments.harness import build_lab
+from repro.gen2.epc import EPC
+from repro.gen2.inventory import InventoryLog
+from repro.radio.measurement import TagObservation
+from repro.runtime import (
+    EscalationLevel,
+    InvariantSuite,
+    SupervisedCycle,
+    Supervisor,
+)
+
+CONFIG = TagwatchConfig(phase2_duration_s=0.5)
+
+
+@pytest.fixture
+def lab():
+    return build_lab(n_tags=8, n_mobile=2, seed=5)
+
+
+@pytest.fixture
+def supervisor(lab):
+    supervisor = Supervisor(lambda: lab.tagwatch(CONFIG))
+    supervisor.start()
+    return supervisor
+
+
+def synthetic_cycle(index, t0, observations, healthy=True):
+    """A hand-built supervised cycle for exercising single invariants."""
+    result = CycleResult(
+        index=index,
+        phase1_observations=list(observations),
+        phase2_observations=[],
+        phase1_log=InventoryLog(start_time_s=t0, end_time_s=t0 + 0.1),
+        phase2_log=None,
+        assessments={},
+        target_epc_values=set(),
+        plan=None,
+        fallback=True,
+        fallback_reason="synthetic",
+        assessment_wall_s=0.0,
+        scheduling_wall_s=0.0,
+        phase1_start_s=t0,
+        phase1_end_s=t0 + 0.1,
+        phase2_end_s=t0 + 0.6,
+        degraded=not healthy,
+    )
+    return SupervisedCycle(
+        result=result,
+        healthy=healthy,
+        reasons=[] if healthy else ["synthetic fault"],
+        escalation=EscalationLevel.HEALTHY,
+        forced_fallback=False,
+        after_restart=False,
+        checkpointed=False,
+    )
+
+
+def observation_of(epc, t):
+    return TagObservation(
+        epc=epc, time_s=t, phase_rad=0.0, rss_dbm=-60.0,
+        antenna_index=0, channel_index=0,
+    )
+
+
+class TestCleanRun:
+    def test_real_supervised_cycles_raise_no_violations(self, lab, supervisor):
+        suite = InvariantSuite(lab.scene, lab.mobile_epc_values)
+        for _ in range(5):
+            cycle = supervisor.run_cycle()
+            assert suite.check(cycle, supervisor.tagwatch) == []
+        assert suite.ok
+
+
+class TestPhantomsAndDuplicates:
+    def test_phantom_epc_in_history_is_flagged(self, lab, supervisor):
+        suite = InvariantSuite(lab.scene, lab.mobile_epc_values)
+        cycle = supervisor.run_cycle()
+        phantom = EPC(0xDEADBEEF)
+        assert phantom.value not in suite.true_epc_values
+        supervisor.tagwatch.history.add(
+            observation_of(phantom, lab.reader.time_s)
+        )
+        names = {v.name for v in suite.check(cycle, supervisor.tagwatch)}
+        assert "phantom-epc-history" in names
+
+    def test_phantom_epc_in_registry_is_flagged(self, lab, supervisor):
+        suite = InvariantSuite(lab.scene, lab.mobile_epc_values)
+        cycle = supervisor.run_cycle()
+        supervisor.tagwatch._known_population.append(EPC(0xDEADBEEF))
+        names = {v.name for v in suite.check(cycle, supervisor.tagwatch)}
+        assert "phantom-epc-registry" in names
+
+    def test_duplicate_registry_entry_is_flagged(self, lab, supervisor):
+        suite = InvariantSuite(lab.scene, lab.mobile_epc_values)
+        cycle = supervisor.run_cycle()
+        population = supervisor.tagwatch._known_population
+        population.append(population[0])
+        names = {v.name for v in suite.check(cycle, supervisor.tagwatch)}
+        assert "duplicate-registry-epc" in names
+
+
+class TestStaleness:
+    def test_mobile_tag_unread_past_bound_is_flagged(self, lab, supervisor):
+        suite = InvariantSuite(
+            lab.scene, lab.mobile_epc_values, staleness_healthy_cycles=3
+        )
+        tagwatch = supervisor.tagwatch
+        t = 100.0
+        for i in range(3):  # at the bound: no violation yet
+            cycle = synthetic_cycle(i, t + i, observations=[])
+            assert suite.check(cycle, tagwatch) == []
+        cycle = synthetic_cycle(3, t + 3, observations=[])
+        names = {v.name for v in suite.check(cycle, tagwatch)}
+        assert names == {"stale-mobile-tag"}
+
+    def test_reading_the_tag_resets_the_clock(self, lab, supervisor):
+        suite = InvariantSuite(
+            lab.scene, lab.mobile_epc_values, staleness_healthy_cycles=2
+        )
+        tagwatch = supervisor.tagwatch
+        mobile = [lab.epcs[i] for i in lab.mobile_indices]
+        t = 100.0
+        for i in range(8):
+            seen = (
+                [observation_of(epc, t + i) for epc in mobile]
+                if i % 2 == 0
+                else []
+            )
+            cycle = synthetic_cycle(i, t + i, observations=seen)
+            assert suite.check(cycle, tagwatch) == []
+
+    def test_unhealthy_cycles_do_not_count_against_staleness(
+        self, lab, supervisor
+    ):
+        suite = InvariantSuite(
+            lab.scene,
+            lab.mobile_epc_values,
+            staleness_healthy_cycles=2,
+            max_consecutive_unhealthy=100,
+        )
+        tagwatch = supervisor.tagwatch
+        for i in range(10):  # unread for 10 cycles, but all faulted
+            cycle = synthetic_cycle(i, 100.0 + i, [], healthy=False)
+            assert suite.check(cycle, tagwatch) == []
+
+    def test_absent_tag_is_excused(self, lab, supervisor):
+        mobile_values = sorted(lab.mobile_epc_values)
+        tag = lab.scene.tags[lab.mobile_indices[0]]
+        tag.blocked_intervals = ((90.0, 10_000.0),)  # shadowed for the run
+        suite = InvariantSuite(
+            lab.scene, set(mobile_values), staleness_healthy_cycles=1
+        )
+        tagwatch = supervisor.tagwatch
+        other = [
+            lab.epcs[i]
+            for i in lab.mobile_indices
+            if lab.epcs[i].value != tag.epc.value
+        ]
+        for i in range(4):
+            seen = [observation_of(epc, 100.0 + i) for epc in other]
+            cycle = synthetic_cycle(i, 100.0 + i, seen)
+            assert suite.check(cycle, tagwatch) == []
+
+
+class TestConvergence:
+    def test_divergent_recovery_is_flagged(self, lab, supervisor):
+        suite = InvariantSuite(
+            lab.scene,
+            lab.mobile_epc_values,
+            max_consecutive_unhealthy=4,
+        )
+        tagwatch = supervisor.tagwatch
+        violations = []
+        for i in range(6):
+            cycle = synthetic_cycle(i, 100.0 + i, [], healthy=False)
+            violations += suite.check(cycle, tagwatch)
+        names = [v.name for v in violations]
+        assert "recovery-divergence" in names
+        assert not suite.ok
+
+    def test_healthy_cycle_resets_the_unhealthy_run(self, lab, supervisor):
+        suite = InvariantSuite(
+            lab.scene,
+            lab.mobile_epc_values,
+            staleness_healthy_cycles=50,
+            max_consecutive_unhealthy=3,
+        )
+        tagwatch = supervisor.tagwatch
+        for i in range(12):  # never 4 unhealthy in a row
+            healthy = i % 3 == 0
+            cycle = synthetic_cycle(i, 100.0 + i, [], healthy=healthy)
+            assert suite.check(cycle, tagwatch) == []
+
+
+class TestValidation:
+    def test_unknown_mobile_epc_rejected(self, lab):
+        with pytest.raises(ValueError, match="not in scene"):
+            InvariantSuite(lab.scene, {0x123456})
+
+    def test_bounds_must_be_positive(self, lab):
+        with pytest.raises(ValueError):
+            InvariantSuite(
+                lab.scene, lab.mobile_epc_values, staleness_healthy_cycles=0
+            )
+        with pytest.raises(ValueError):
+            InvariantSuite(
+                lab.scene,
+                lab.mobile_epc_values,
+                max_consecutive_unhealthy=0,
+            )

@@ -1,0 +1,52 @@
+"""Lint: no unseeded randomness in the library.
+
+Every stochastic choice in ``src/`` must flow through a seeded
+``numpy.random.Generator`` (see ``repro.util.rng``) so that soak runs,
+golden traces, and crash-replay tests stay reproducible.  The stdlib
+``random`` module's global state would silently break all of that.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+IMPORT_PATTERN = re.compile(
+    r"^\s*(?:import\s+random\b|from\s+random\s+import\b)", re.MULTILINE
+)
+# Bare `random.` calls; `np.random`/`numpy.random` don't match because of
+# the preceding dot, and words like `self.random_state` don't either.
+USAGE_PATTERN = re.compile(r"(?<![\w.])random\.")
+
+
+def python_sources():
+    files = sorted(SRC.rglob("*.py"))
+    assert files, f"no sources under {SRC}"
+    return files
+
+
+def test_no_stdlib_random_imports():
+    offenders = [
+        str(path.relative_to(SRC))
+        for path in python_sources()
+        if IMPORT_PATTERN.search(path.read_text(encoding="utf-8"))
+    ]
+    assert offenders == [], (
+        f"stdlib `random` imported in {offenders}; use a seeded "
+        "numpy Generator from repro.util.rng instead"
+    )
+
+
+def test_no_bare_random_usage():
+    offenders = []
+    for path in python_sources():
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            stripped = line.split("#", 1)[0]
+            if USAGE_PATTERN.search(stripped):
+                offenders.append(f"{path.relative_to(SRC)}:{number}: {line.strip()}")
+    assert offenders == [], (
+        "bare `random.` usage found (unseeded global RNG):\n"
+        + "\n".join(offenders)
+    )

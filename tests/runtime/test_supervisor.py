@@ -1,0 +1,226 @@
+"""Supervisor: watchdog verdicts, escalation ladder, warm/cold restarts."""
+
+import pytest
+
+from repro.core import TagwatchConfig
+from repro.experiments.harness import build_lab
+from repro.faults import FaultPlan, ReaderCrash
+from repro.runtime import (
+    CheckpointStore,
+    EscalationLevel,
+    Supervisor,
+    SupervisorConfig,
+    WatchdogPolicy,
+)
+
+CONFIG = TagwatchConfig(
+    phase2_duration_s=0.5,
+    min_phase1_fraction=0.5,
+    population_grace_cycles=2,
+)
+
+
+def make_supervisor(tmp_path, seed=7, plan=None, **kwargs):
+    lab = build_lab(
+        n_tags=10,
+        n_mobile=1,
+        seed=seed,
+        fault_plan=plan or FaultPlan(report_loss=0.02),
+    )
+    store = CheckpointStore(tmp_path / "ckpt.json", retain=2)
+    supervisor = Supervisor(
+        lambda: lab.tagwatch(CONFIG),
+        config=SupervisorConfig(
+            checkpoint_every=kwargs.pop("checkpoint_every", 2),
+            watchdog=WatchdogPolicy(**kwargs),
+        ),
+        store=store,
+    )
+    return lab, store, supervisor
+
+
+class TestHealthyOperation:
+    def test_healthy_cycles_checkpoint_on_cadence(self, tmp_path):
+        lab, store, supervisor = make_supervisor(tmp_path, checkpoint_every=2)
+        assert supervisor.start() == "cold"
+        cycles = supervisor.run(4)
+        assert all(c.healthy for c in cycles)
+        assert [c.checkpointed for c in cycles] == [False, True, False, True]
+        assert supervisor.checkpoints_written == 2
+        assert store.generations()  # snapshots actually landed on disk
+
+    def test_cycle_index_delegates_to_result(self, tmp_path):
+        _, _, supervisor = make_supervisor(tmp_path)
+        cycle = supervisor.run_cycle()
+        assert cycle.index == cycle.result.index == 0
+
+
+class TestEscalationLadder:
+    def test_crash_walks_retry_fullinv_restart(self, tmp_path):
+        lab, _, supervisor = make_supervisor(
+            tmp_path, checkpoint_every=1, unhealthy_backoff_s=0.5
+        )
+        supervisor.start()
+        supervisor.run(2)  # bank a checkpoint
+        first = supervisor.tagwatch
+        lab.reader.injector.schedule_crash(
+            ReaderCrash(at_s=lab.reader.time_s + 0.2, downtime_s=30.0)
+        )
+        levels = [supervisor.run_cycle().escalation for _ in range(3)]
+        assert levels == [
+            EscalationLevel.RETRY,
+            EscalationLevel.FULL_INVENTORY,
+            EscalationLevel.RESTART,
+        ]
+        assert supervisor.restarts == 1
+        assert supervisor.warm_restarts == 1
+        assert supervisor.tagwatch is not first  # rebuilt middleware
+
+    def test_full_inventory_rung_forces_fallback_cycles(self, tmp_path):
+        lab, _, supervisor = make_supervisor(
+            tmp_path, full_inventory_cycles=2, unhealthy_backoff_s=2.0
+        )
+        supervisor.start()
+        supervisor.run(1)
+        lab.reader.injector.schedule_crash(
+            ReaderCrash(at_s=lab.reader.time_s + 0.01, downtime_s=30.0)
+        )
+        strike1 = supervisor.run_cycle()
+        strike2 = supervisor.run_cycle()
+        assert strike1.escalation == EscalationLevel.RETRY
+        assert strike2.escalation == EscalationLevel.FULL_INVENTORY
+        # Let the reboot finish, then the forced full-inventory cycles run.
+        lab.reader.advance_clock(40.0)
+        forced = [supervisor.run_cycle() for _ in range(2)]
+        assert all(c.forced_fallback and c.result.fallback for c in forced)
+        assert all(c.healthy for c in forced)
+        assert not supervisor.run_cycle().forced_fallback  # rung consumed
+
+    def test_unhealthy_cycles_advance_simulated_time(self, tmp_path):
+        # A crashed reader fails operations *instantly*; without the
+        # supervisor's backoff the clock would freeze and the downtime
+        # would never end.
+        lab, _, supervisor = make_supervisor(
+            tmp_path, unhealthy_backoff_s=3.0
+        )
+        supervisor.start()
+        supervisor.run(1)
+        lab.reader.injector.schedule_crash(
+            ReaderCrash(at_s=lab.reader.time_s + 0.1, downtime_s=9.0)
+        )
+        before = lab.reader.time_s
+        for _ in range(6):
+            if supervisor.run_cycle().healthy:
+                break
+        assert lab.reader.time_s > before + 3.0
+        assert supervisor.run_cycle().healthy  # recovery converged
+
+    def test_max_restarts_gives_up_loudly(self, tmp_path):
+        lab, _, supervisor = make_supervisor(
+            tmp_path, max_restarts=1, unhealthy_backoff_s=0.1
+        )
+        supervisor.start()
+        supervisor.run(1)
+        lab.reader.injector.schedule_crash(
+            ReaderCrash(at_s=lab.reader.time_s + 0.1, downtime_s=10_000.0)
+        )
+        with pytest.raises(RuntimeError, match="exceeded 1 restart"):
+            for _ in range(10):
+                supervisor.run_cycle()
+
+
+class TestRestartSemantics:
+    def test_force_restart_warm_restores_from_checkpoint(self, tmp_path):
+        _, _, supervisor = make_supervisor(tmp_path, checkpoint_every=1)
+        supervisor.start()
+        supervisor.run(3)
+        checkpointed_index = supervisor.tagwatch._cycle_index
+        assert supervisor.force_restart("test kill") == "warm"
+        assert supervisor.tagwatch._cycle_index == checkpointed_index
+        first_back = supervisor.run_cycle()
+        assert first_back.after_restart
+        assert first_back.forced_fallback  # full coverage before trusting
+
+    def test_restart_without_store_is_cold(self, tmp_path):
+        lab = build_lab(n_tags=10, n_mobile=1, seed=7)
+        supervisor = Supervisor(lambda: lab.tagwatch(CONFIG))
+        assert supervisor.start() == "cold"
+        supervisor.run(2)
+        assert supervisor.force_restart("kill") == "cold"
+        assert supervisor.tagwatch._cycle_index == 0  # relearning from zero
+
+    def test_config_hash_mismatch_degrades_to_cold_start(self, tmp_path):
+        # A snapshot from a different deployment must be rejected, not
+        # resumed: the learned state would poison the new run.
+        _, store, supervisor = make_supervisor(tmp_path, checkpoint_every=1)
+        supervisor.start()
+        supervisor.run(2)
+        lab2 = build_lab(
+            n_tags=12,  # different population -> different fingerprint
+            n_mobile=1,
+            seed=7,
+            fault_plan=FaultPlan(report_loss=0.02),
+        )
+        survivor = Supervisor(
+            lambda: lab2.tagwatch(CONFIG),
+            config=SupervisorConfig(checkpoint_every=1),
+            store=store,
+        )
+        assert survivor.start() == "cold"
+        assert survivor.cold_starts == 1
+        assert survivor.run_cycle().healthy
+
+    def test_subscribers_survive_supervised_restarts(self, tmp_path):
+        _, _, supervisor = make_supervisor(tmp_path, checkpoint_every=1)
+        received = []
+        supervisor.subscribe(received.append)
+        supervisor.start()
+        supervisor.run(2)
+        before = len(received)
+        assert before > 0
+        supervisor.force_restart("kill")
+        supervisor.run_cycle()
+        assert len(received) > before  # delivery continued after rebuild
+
+
+class TestSessionRecovery:
+    def test_session_reestablished_after_reader_reboot(self, tmp_path):
+        lab, _, supervisor = make_supervisor(
+            tmp_path, checkpoint_every=1, unhealthy_backoff_s=4.0
+        )
+        supervisor.start()
+        supervisor.run(1)
+        lab.reader.injector.schedule_crash(
+            ReaderCrash(at_s=lab.reader.time_s + 0.1, downtime_s=6.0)
+        )
+        for _ in range(8):
+            if supervisor.run_cycle().healthy:
+                break
+        assert lab.reader.session_epoch == 1
+        counters = lab.metrics.to_dict()
+        restored = counters.get("client.sessions_reestablished", {})
+        recovered = counters.get("client.session_recoveries", {})
+        assert (
+            restored.get("value", 0) + recovered.get("value", 0) >= 1
+        ), "no session re-establishment was recorded"
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cycle_deadline_s": 0.0},
+            {"phase_deadline_s": -1.0},
+            {"keepalive_gap_s": 0.0},
+            {"unhealthy_backoff_s": -0.1},
+            {"full_inventory_cycles": 0},
+            {"max_restarts": -1},
+        ],
+    )
+    def test_bad_watchdog_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WatchdogPolicy(**kwargs)
+
+    def test_negative_checkpoint_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(checkpoint_every=-1)
