@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest underneath.
 
-.PHONY: install test test-faults test-runtime bench bench-smoke bench-micro soak soak-smoke examples reproduce clean
+.PHONY: install test test-faults test-runtime bench bench-smoke bench-micro bench-compare bench-refresh soak soak-smoke examples reproduce clean
 
 install:
 	python setup.py develop
@@ -24,6 +24,17 @@ bench-smoke:
 
 bench-micro:
 	pytest benchmarks/ --benchmark-only -s
+
+# Perf gate: re-run the workloads and fail if simulated-slots-per-second
+# drops more than 25% below the committed BENCH_<name>.json baselines.
+bench-compare:
+	python -m repro bench-compare --name all --scale smoke
+
+# Intentional-change override for the perf gate: regenerate the committed
+# baselines.  Run on a quiet machine, eyeball the diff, commit it with the
+# change that moved the numbers.
+bench-refresh:
+	python -m repro bench --name all --scale smoke --out-dir .
 
 # Full chaos soak: 2000 supervised cycles under the seeded fault schedule
 # (reader crashes, jamming, blackouts, churn, kills, checkpoint

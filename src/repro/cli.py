@@ -77,34 +77,41 @@ from repro.util.tables import format_table
 _log = get_logger("repro.cli")
 
 #: Figure registry: id -> (description, smoke runner, paper-scale runner).
+#: Runners take ``workers`` and forward it where the driver can fan out
+#: (fig2, fig18); the rest accept and ignore it.
 FIGURES: Dict[str, tuple] = {
     "fig1": (
         "tracking accuracy vs stationary company",
-        lambda: fig01_tracking.format_report(
+        lambda workers=None: fig01_tracking.format_report(
             fig01_tracking.run(stationary_counts=(0, 14), duration_s=4.0)
         ),
-        lambda: fig01_tracking.format_report(fig01_tracking.run()),
+        lambda workers=None: fig01_tracking.format_report(fig01_tracking.run()),
     ),
     "fig2": (
         "IRR vs number of tags, model vs measured",
-        lambda: fig02_irr.format_report(
-            fig02_irr.run(tag_counts=(1, 5, 10, 20, 40), initial_qs=(4,), repeats=8)
+        lambda workers=None: fig02_irr.format_report(
+            fig02_irr.run(tag_counts=(1, 5, 10, 20, 40), initial_qs=(4,),
+                          repeats=8, workers=workers)
         ),
-        lambda: fig02_irr.format_report(fig02_irr.run()),
+        lambda workers=None: fig02_irr.format_report(
+            fig02_irr.run(workers=workers)
+        ),
     ),
     "fig3": (
         "TrackPoint warehouse trace statistics (also covers Fig 4)",
-        lambda: fig03_trace.format_report(fig03_trace.run()),
-        lambda: fig03_trace.format_report(fig03_trace.run()),
+        lambda workers=None: fig03_trace.format_report(fig03_trace.run()),
+        lambda workers=None: fig03_trace.format_report(fig03_trace.run()),
     ),
     "fig8": (
         "phase multi-modality of a stationary tag",
-        lambda: fig08_gmm.format_report(fig08_gmm.run(duration_s=30.0)),
-        lambda: fig08_gmm.format_report(fig08_gmm.run()),
+        lambda workers=None: fig08_gmm.format_report(
+            fig08_gmm.run(duration_s=30.0)
+        ),
+        lambda workers=None: fig08_gmm.format_report(fig08_gmm.run()),
     ),
     "fig12": (
         "motion-detector ROC",
-        lambda: fig12_roc.format_report(
+        lambda workers=None: fig12_roc.format_report(
             fig12_roc.run(
                 n_stationary=10,
                 n_people=2,
@@ -112,58 +119,65 @@ FIGURES: Dict[str, tuple] = {
                 mobile_duration_s=15.0,
             )
         ),
-        lambda: fig12_roc.format_report(fig12_roc.run()),
+        lambda workers=None: fig12_roc.format_report(fig12_roc.run()),
     ),
     "fig13": (
         "detection sensitivity vs displacement",
-        lambda: fig13_sensitivity.format_report(
+        lambda workers=None: fig13_sensitivity.format_report(
             fig13_sensitivity.run(trials=8, settle_s=6.0)
         ),
-        lambda: fig13_sensitivity.format_report(fig13_sensitivity.run()),
+        lambda workers=None: fig13_sensitivity.format_report(
+            fig13_sensitivity.run()
+        ),
     ),
     "fig14": (
         "immobility-model learning curve",
-        lambda: fig14_learning.format_report(fig14_learning.run(duration_s=20.0)),
-        lambda: fig14_learning.format_report(fig14_learning.run()),
+        lambda workers=None: fig14_learning.format_report(
+            fig14_learning.run(duration_s=20.0)
+        ),
+        lambda workers=None: fig14_learning.format_report(fig14_learning.run()),
     ),
     "fig15": (
         "schedule feasibility, 2/40 targets",
-        lambda: fig15_feasibility.format_report(
+        lambda workers=None: fig15_feasibility.format_report(
             fig15_feasibility.run(n_targets=2, duration_s=4.0)
         ),
-        lambda: fig15_feasibility.format_report(
+        lambda workers=None: fig15_feasibility.format_report(
             fig15_feasibility.run(n_targets=2)
         ),
     ),
     "fig16": (
         "schedule feasibility, 5/40 targets",
-        lambda: fig15_feasibility.format_report(
+        lambda workers=None: fig15_feasibility.format_report(
             fig15_feasibility.run(n_targets=5, duration_s=4.0)
         ),
-        lambda: fig15_feasibility.format_report(
+        lambda workers=None: fig15_feasibility.format_report(
             fig15_feasibility.run(n_targets=5)
         ),
     ),
     "fig17": (
         "scheduling overhead CDF",
-        lambda: fig17_cost.format_report(
+        lambda workers=None: fig17_cost.format_report(
             fig17_cost.run(n_tags=30, n_mobile=2, n_cycles=14, warmup_cycles=6,
                            phase2_duration_s=0.6)
         ),
-        lambda: fig17_cost.format_report(fig17_cost.run()),
+        lambda workers=None: fig17_cost.format_report(fig17_cost.run()),
     ),
     "fig18": (
         "IRR gain vs percentage of mobile tags",
-        lambda: fig18_gain.format_report(
+        lambda workers=None: fig18_gain.format_report(
             fig18_gain.run(
                 percents=(5.0, 20.0),
                 populations=(40,),
                 n_cycles=5,
                 warmup_cycles=1,
                 phase2_duration_s=1.0,
+                workers=workers,
             )
         ),
-        lambda: fig18_gain.format_report(fig18_gain.run()),
+        lambda workers=None: fig18_gain.format_report(
+            fig18_gain.run(workers=workers)
+        ),
     ),
 }
 
@@ -182,7 +196,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
         _log.error(f"unknown figure {args.id!r}; try: python -m repro figures")
         return 2
     _, smoke, paper = entry
-    _log.info((smoke if args.scale == "smoke" else paper)())
+    runner = smoke if args.scale == "smoke" else paper
+    _log.info(runner(workers=args.workers))
     return 0
 
 
@@ -271,6 +286,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             phase2_duration_s=args.phase2,
             seed=args.seed,
             disconnect_at_s=tuple(args.disconnect_at),
+            workers=args.workers,
         )
         _log.info(fault_sweep.format_report(result))
         if args.metrics_out:
@@ -382,6 +398,20 @@ def cmd_soak(args: argparse.Namespace) -> int:
         blackout_every=args.blackout_every,
         checkpoint_dir=args.checkpoint_dir or None,
     )
+    if args.runs > 1:
+        reports = soak.run_many(config, runs=args.runs, workers=args.workers)
+        for report in reports:
+            _log.info(soak.format_report(report))
+        survived = sum(1 for r in reports if r.ok)
+        _log.info(f"soak replicas: {survived}/{len(reports)} survived")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(
+                    [r.to_dict() for r in reports],
+                    handle, indent=2, sort_keys=True,
+                )
+            _log.info(f"wrote {args.out}")
+        return 0 if survived == len(reports) else 1
     report = soak.run(config)
     _log.info(soak.format_report(report))
     if args.out:
@@ -440,13 +470,37 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     results = []
     for name in names:
-        results.append(bench_module.run_bench(name.strip(), scale=args.scale))
+        results.append(
+            bench_module.run_bench(
+                name.strip(),
+                scale=args.scale,
+                warmup=args.warmup,
+                repeats=args.repeats,
+            )
+        )
     _log.info(bench_module.format_report(results))
     if not args.no_write:
         for result in results:
             path = bench_module.write_bench(result, args.out_dir)
             _log.info(f"wrote {path}")
     return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Gate: compare fresh bench runs against the committed baselines."""
+    from repro.obs import bench_compare as compare_module
+
+    names = None if args.name == "all" else args.name.split(",")
+    report = compare_module.run_compare(
+        names=names,
+        scale=args.scale,
+        baseline_dir=args.baseline_dir,
+        max_regression=args.max_regression,
+        warmup=args.warmup,
+        repeats=args.repeats,
+    )
+    _log.info(compare_module.format_compare(report))
+    return 0 if report.passed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -486,6 +540,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_figure.add_argument(
         "--scale", choices=("smoke", "paper"), default="smoke",
         help="smoke: seconds; paper: the benchmark-scale run",
+    )
+    p_figure.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for sweep figures (fig2, fig18); "
+        "-1: one per core; results are identical to a sequential run",
     )
 
     p_demo = sub.add_parser(
@@ -551,6 +610,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweep", default="",
         help="comma-separated loss rates: run the degradation sweep instead",
     )
+    p_faults.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for --sweep points; -1: one per core",
+    )
 
     p_reproduce = sub.add_parser(
         "reproduce", help="run every figure and write one markdown report",
@@ -597,6 +660,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_soak.add_argument(
         "--out", default="", help="write the JSON soak report here"
     )
+    p_soak.add_argument(
+        "--runs", type=int, default=1,
+        help="independent soak replicas (seeds spawned from --seed)",
+    )
+    p_soak.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for --runs replicas; -1: one per core",
+    )
 
     p_bench = sub.add_parser(
         "bench", help="profile the workloads: per-phase time budget",
@@ -615,6 +686,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--no-write", action="store_true", help="print the table only"
     )
+    p_bench.add_argument(
+        "--warmup", type=int, default=1,
+        help="untimed warm-up executions per workload (default 1)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed executions per workload; fastest wins (default 3)",
+    )
+
+    p_compare = sub.add_parser(
+        "bench-compare",
+        help="re-run the workloads and fail on throughput regressions "
+        "against the committed BENCH_<name>.json baselines",
+    )
+    p_compare.add_argument(
+        "--name", default="all",
+        help='comma-separated workload names, or "all" (fig02, fig18, soak)',
+    )
+    p_compare.add_argument(
+        "--scale", choices=("smoke", "paper"), default="smoke"
+    )
+    p_compare.add_argument(
+        "--baseline-dir", default=".",
+        help="directory holding the BENCH_<name>.json baselines",
+    )
+    p_compare.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="tolerated fractional slots/s drop before failing (default 0.25)",
+    )
+    p_compare.add_argument(
+        "--warmup", type=int, default=1,
+        help="untimed warm-up executions per workload (default 1)",
+    )
+    p_compare.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed executions per workload; fastest wins (default 3)",
+    )
     return parser
 
 
@@ -627,6 +735,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "predict": cmd_predict,
     "rospec": cmd_rospec,
     "bench": cmd_bench,
+    "bench-compare": cmd_bench_compare,
     "soak": cmd_soak,
 }
 

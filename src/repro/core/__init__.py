@@ -11,7 +11,14 @@
 - :mod:`repro.core.tagwatch` — the two-phase middleware loop.
 """
 
-from repro.core.bitmask import CandidateRow, IndexedBitmaskTable, indicator_bitmap
+from repro.core.bitmask import (
+    CandidateRow,
+    IndexedBitmaskTable,
+    indicator_bitmap,
+    pack_bitmap,
+    pack_indices,
+    unpack_bitmap,
+)
 from repro.core.config import (
     TagwatchConfig,
     load_concerned_epcs,
@@ -48,6 +55,7 @@ from repro.core.setcover import (
     CoverSelection,
     exact_cover,
     greedy_cover,
+    greedy_cover_reference,
     naive_selection,
     select_bitmasks,
 )
@@ -80,16 +88,20 @@ __all__ = [
     "breakeven_percent",
     "exact_cover",
     "greedy_cover",
+    "greedy_cover_reference",
     "indicator_bitmap",
     "irr_drop",
     "load_assessor",
     "load_concerned_epcs",
     "make_scorer",
     "naive_selection",
+    "pack_bitmap",
+    "pack_indices",
     "predict_cycle",
     "predicted_gain",
     "restore_assessor",
     "save_assessor",
     "save_concerned_epcs",
     "select_bitmasks",
+    "unpack_bitmap",
 ]

@@ -23,12 +23,57 @@ yield multi-target masks; the full-EPC fallbacks cover everything else.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.gen2.epc import EPC
 from repro.gen2.select import BitMask
+
+
+# ----------------------------------------------------------------------
+# Packed bitsets
+# ----------------------------------------------------------------------
+# Coverage bitmaps are one bool per tag for numpy-facing callers, but the
+# set-cover inner loop only ever intersects them and counts bits.  For that
+# it uses a *packed* form: the bool array packed 64 bits per machine word,
+# little-endian (bit i of word w is tag 64*w + i), carried as one Python
+# integer.  A single ``x & y`` then intersects 64 tags per word in C, and
+# ``int.bit_count`` is a hardware popcount over the words — at the ~1k-tag
+# populations the large-scale experiments sweep this is an order of
+# magnitude faster than ``(a & b).sum()`` on bool arrays, with none of
+# numpy's per-call overhead.
+
+
+def pack_bitmap(mask: np.ndarray) -> int:
+    """Pack a bool coverage array into the uint64-word packed form."""
+    if mask.size == 0:
+        return 0
+    packed_bytes = np.packbits(mask.astype(bool), bitorder="little")
+    return int.from_bytes(packed_bytes.tobytes(), "little")
+
+
+def unpack_bitmap(packed: int, population_size: int) -> np.ndarray:
+    """Inverse of :func:`pack_bitmap` (for tests and debugging)."""
+    if population_size == 0:
+        return np.zeros(0, dtype=bool)
+    n_bytes = (population_size + 7) // 8
+    raw = np.frombuffer(
+        packed.to_bytes(n_bytes, "little"), dtype=np.uint8
+    )
+    return np.unpackbits(raw, bitorder="little")[:population_size].astype(bool)
+
+
+def pack_indices(population_size: int, indices: Sequence[int]) -> int:
+    """Packed indicator of ``indices`` (the packed twin of
+    :func:`indicator_bitmap`, with the same bounds checking)."""
+    packed = 0
+    for i in indices:
+        if i < 0 or i >= population_size:
+            raise IndexError(f"target index {i} outside population")
+        packed |= 1 << int(i)
+    return packed
 
 
 @dataclass(frozen=True)
@@ -38,9 +83,14 @@ class CandidateRow:
     bitmask: BitMask
     coverage: np.ndarray  # bool array over the current population
 
-    @property
+    @cached_property
+    def packed(self) -> int:
+        """The coverage in packed uint64-word form (computed once)."""
+        return pack_bitmap(self.coverage)
+
+    @cached_property
     def covered_count(self) -> int:
-        return int(self.coverage.sum())
+        return self.packed.bit_count()
 
     def covered_indices(self) -> Tuple[int, ...]:
         """Indices of the covered tags, ascending."""

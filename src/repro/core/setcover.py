@@ -12,24 +12,44 @@ the naive plan (one full-EPC bitmask per target); if the greedy plan is not
 cheaper, the naive plan is returned — the paper's "adopt the worst option"
 rule, which also bounds the approximation.
 
+The production solver works on *packed* coverage bitsets (see
+``core.bitmask``) and evaluates candidates lazily off a max-heap: the gain
+``|V_i & V|`` is submodular in V (it only shrinks as targets get covered),
+so a ratio computed in an earlier iteration upper-bounds the current one,
+and a candidate whose stale bound already trails the running best can be
+skipped without rescanning it.  The result — picks, tie sets, RNG draws,
+trace events — is identical to the straightforward rescan-everything
+implementation, which is kept as :func:`greedy_cover_reference` for
+differential testing.
+
 An exact exponential solver is provided for small instances; the tests use
 it to bound the greedy's optimality gap.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.bitmask import CandidateRow, indicator_bitmap
+from repro.core.bitmask import (
+    CandidateRow,
+    indicator_bitmap,
+    pack_indices,
+)
 from repro.core.cost import CostModel
 from repro.gen2.epc import EPC
 from repro.gen2.select import BitMask
 from repro.obs.tracer import get_tracer
 from repro.util.rng import SeedLike, make_rng
+
+#: Tolerances of the tie test ``np.isclose(ratios, best)`` in the reference
+#: solver; the lazy solver reproduces the same test scalar-wise.
+_TIE_RTOL = 1e-5
+_TIE_ATOL = 1e-8
 
 
 @dataclass
@@ -73,11 +93,130 @@ def greedy_cover(
 ) -> CoverSelection:
     """The paper's greedy relative-gain search (Steps 1-4 of Section 5.3).
 
+    Packed lazy-greedy: bit-for-bit the same selection as
+    :func:`greedy_cover_reference`, but candidates sit in a max-heap keyed
+    by their last-computed ratio and are only re-evaluated while a stale
+    bound could still reach the tie set (submodularity makes every stale
+    ratio an upper bound).
+
     Raises ``ValueError`` if some target is not covered by any candidate
     (cannot happen when the table includes full-EPC rows).
     """
     gen = make_rng(rng)
+    targets_packed = pack_indices(population_size, target_indices)
+    n_targets = targets_packed.bit_count()
+    if n_targets == 0:
+        return CoverSelection([], [], 0.0, 0, 0, method="greedy")
+
+    packed = [row.packed for row in candidates]
+    prices = [
+        float(cost_model.inventory_cost(row.covered_count))
+        for row in candidates
+    ]
+    chosen: List[int] = []
+    union = 0
+    v = targets_packed
+
+    tracer = get_tracer()
+    traced = tracer.enabled
+
+    # Heap of (-ratio, index, iteration-the-ratio-was-computed-in).  Every
+    # candidate has exactly one live entry; a popped stale entry is
+    # recomputed against the current V and re-pushed, so entries from
+    # iteration ``it`` are exact within iteration ``it``.
+    gains = [(p & v).bit_count() for p in packed]
+    ratios = [g / price for g, price in zip(gains, prices)]
+    heap = [(-r, i, 0) for i, r in enumerate(ratios)]
+    heapq.heapify(heap)
+    iteration = 0
+
+    while v:
+        best: Optional[float] = None
+        exact_ids: List[int] = []
+        resting: List[tuple] = []
+        while heap:
+            neg_ratio, idx, stamp = heap[0]
+            bound = -neg_ratio
+            if best is not None and bound < best - (
+                _TIE_ATOL + _TIE_RTOL * best
+            ) * (1.0 + 1e-9):
+                # Every remaining entry bounds its exact ratio from above
+                # and already misses the tie margin (with head-room for the
+                # rounding of the threshold itself): the tie set is final.
+                break
+            heapq.heappop(heap)
+            if stamp == iteration:
+                resting.append((neg_ratio, idx, stamp))
+                exact_ids.append(idx)
+                if best is None or bound > best:
+                    best = bound
+            else:
+                gain = (packed[idx] & v).bit_count()
+                ratio = gain / prices[idx]
+                gains[idx] = gain
+                ratios[idx] = ratio
+                heapq.heappush(heap, (-ratio, idx, iteration))
+        for entry in resting:
+            heapq.heappush(heap, entry)
+        if best is None or best == 0.0:
+            # All gains are zero: the reference path's ``gains.any()`` test.
+            raise ValueError("targets remain that no candidate covers")
+        # Resolve draws by random selection, as the paper specifies.  The
+        # scalar test reproduces np.isclose(ratios, best) on the full array:
+        # candidates never re-evaluated this iteration sit strictly below
+        # the margin, so they cannot be tied.
+        margin = _TIE_ATOL + _TIE_RTOL * abs(best)
+        tied = np.array(
+            sorted(i for i in exact_ids if abs(ratios[i] - best) <= margin),
+            dtype=np.intp,
+        )
+        pick = int(gen.choice(tied))
+        chosen.append(pick)
+        union |= packed[pick]
+        v &= ~packed[pick]
+        iteration += 1
+        if traced:
+            # Anchored to the enclosing span's start: the search is pure
+            # CPU, so no simulated time passes between iterations.
+            tracer.event(
+                "setcover.iteration",
+                category="setcover",
+                iteration=len(chosen),
+                pick=pick,
+                gain=int(gains[pick]),
+                covered_count=candidates[pick].covered_count,
+                n_tied=int(tied.size),
+                remaining_targets=v.bit_count(),
+            )
+
+    counts = [candidates[i].covered_count for i in chosen]
+    collateral = (union & ~targets_packed).bit_count()
+    return CoverSelection(
+        bitmasks=[candidates[i].bitmask for i in chosen],
+        covered_counts=counts,
+        total_cost_s=cost_model.sweep_cost(counts),
+        n_targets=n_targets,
+        n_collateral=collateral,
+        method="greedy",
+    )
+
+
+def greedy_cover_reference(
+    candidates: Sequence[CandidateRow],
+    target_indices: Sequence[int],
+    population_size: int,
+    cost_model: CostModel,
+    rng: SeedLike = None,
+) -> CoverSelection:
+    """The straightforward greedy: rescan every candidate each iteration.
+
+    Kept as the behavioural reference for :func:`greedy_cover`; the
+    differential tests assert both return identical selections, draws and
+    trace events on the same inputs.
+    """
+    gen = make_rng(rng)
     v = indicator_bitmap(population_size, target_indices)
+    targets_mask = v.copy()
     n_targets = int(v.sum())
     if n_targets == 0:
         return CoverSelection([], [], 0.0, 0, 0, method="greedy")
@@ -120,7 +259,6 @@ def greedy_cover(
             )
 
     counts = [candidates[i].covered_count for i in chosen]
-    targets_mask = indicator_bitmap(population_size, target_indices)
     collateral = int((union & ~targets_mask).sum())
     return CoverSelection(
         bitmasks=[candidates[i].bitmask for i in chosen],
@@ -164,18 +302,19 @@ def exact_cover(
         raise ValueError(
             f"exact solver limited to 18 candidates, got {len(candidates)}"
         )
-    v = indicator_bitmap(population_size, target_indices)
-    n_targets = int(v.sum())
+    v = pack_indices(population_size, target_indices)
+    n_targets = v.bit_count()
+    packed = [row.packed for row in candidates]
     best: Optional[CoverSelection] = None
     limit = max_subset_size or len(candidates)
     # All subset sizes must be enumerated: a larger selection of cheap rows
     # can undercut a smaller selection of expensive ones.
     for size in range(0 if n_targets == 0 else 1, limit + 1):
         for combo in itertools.combinations(range(len(candidates)), size):
-            union = np.zeros(population_size, dtype=bool)
+            union = 0
             for i in combo:
-                union |= candidates[i].coverage
-            if not (v & ~union).any():
+                union |= packed[i]
+            if not v & ~union:
                 counts = [candidates[i].covered_count for i in combo]
                 cost = cost_model.sweep_cost(counts)
                 if best is None or cost < best.total_cost_s:
@@ -184,7 +323,7 @@ def exact_cover(
                         covered_counts=counts,
                         total_cost_s=cost,
                         n_targets=n_targets,
-                        n_collateral=int((union & ~v).sum()),
+                        n_collateral=(union & ~v).bit_count(),
                         method="exact",
                     )
     if best is None:

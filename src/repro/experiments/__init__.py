@@ -18,6 +18,7 @@ from repro.experiments import (
     fig17_cost,
     fig18_gain,
     latency,
+    parallel,
     report,
 )
 
@@ -34,5 +35,6 @@ __all__ = [
     "fig17_cost",
     "fig18_gain",
     "latency",
+    "parallel",
     "report",
 ]

@@ -16,12 +16,13 @@ Each driver isolates one decision DESIGN.md documents:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core import MotionAssessor, Tagwatch, TagwatchConfig
 from repro.experiments.harness import build_lab
+from repro.experiments.parallel import parallel_map
 from repro.radio.constants import china_920_926
 from repro.util.tables import format_table
 from repro.obs.logging import get_logger
@@ -155,35 +156,43 @@ class Phase2SweepResult:
     detection_latency_s: List[float]
 
 
+def _phase2_point(
+    duration: float, n_tags: int, seed: int
+) -> Tuple[float, float]:
+    """(mobile IRR, mean cycle latency) for one Phase II length."""
+    setup = build_lab(
+        n_tags=n_tags, n_mobile=1, seed=seed, partition=True
+    )
+    tagwatch = setup.tagwatch(
+        TagwatchConfig(phase2_duration_s=float(duration))
+    )
+    tagwatch.warm_up(15.0)
+    results = tagwatch.run(max(3, int(10.0 / duration)))
+    t0 = results[0].phase1_start_s
+    t1 = results[-1].phase2_end_s
+    mobile = next(iter(setup.mobile_epc_values))
+    irr = tagwatch.history.irr(mobile, t0, t1).irr_hz
+    latency = float(np.mean([r.cycle_duration_s for r in results]))
+    return irr, latency
+
+
 def run_phase2_sweep(
     durations_s: Sequence[float] = (0.5, 1.0, 2.0, 5.0),
     n_tags: int = 20,
     seed: int = 59,
+    workers: Optional[int] = None,
 ) -> Phase2SweepResult:
     """Mobile IRR and worst-case state-transition latency vs Phase II length.
 
     A stationary->moving transition can only be caught at a Phase I, so the
     detection latency is bounded by the cycle length — the quantity a long
-    Phase II trades the IRR gain against.
+    Phase II trades the IRR gain against.  Durations are independent fresh
+    labs, so ``workers > 1`` fans them out without changing the numbers.
     """
-    irrs: List[float] = []
-    latencies: List[float] = []
-    for duration in durations_s:
-        setup = build_lab(
-            n_tags=n_tags, n_mobile=1, seed=seed, partition=True
-        )
-        tagwatch = setup.tagwatch(
-            TagwatchConfig(phase2_duration_s=float(duration))
-        )
-        tagwatch.warm_up(15.0)
-        results = tagwatch.run(max(3, int(10.0 / duration)))
-        t0 = results[0].phase1_start_s
-        t1 = results[-1].phase2_end_s
-        mobile = next(iter(setup.mobile_epc_values))
-        irrs.append(tagwatch.history.irr(mobile, t0, t1).irr_hz)
-        latencies.append(
-            float(np.mean([r.cycle_duration_s for r in results]))
-        )
+    tasks = [(float(duration), n_tags, seed) for duration in durations_s]
+    measured = parallel_map(_phase2_point, tasks, workers=workers)
+    irrs = [irr for irr, _ in measured]
+    latencies = [latency for _, latency in measured]
     return Phase2SweepResult(
         durations_s=list(durations_s),
         mobile_irr_hz=irrs,

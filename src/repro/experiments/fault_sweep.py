@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core import TagwatchConfig, TagwatchMonitor
 from repro.experiments.harness import build_lab
+from repro.experiments.parallel import parallel_map
 from repro.faults import FaultPlan
 from repro.util.tables import format_table
 
@@ -163,21 +164,27 @@ def run(
     phase2_duration_s: float = 1.0,
     seed: int = 11,
     disconnect_at_s: Sequence[float] = (),
+    workers: Optional[int] = None,
 ) -> SweepResult:
-    """Sweep the loss axis; same seed at every point."""
-    points = [
-        run_point(
+    """Sweep the loss axis; same seed at every point.
+
+    Points are independent fresh labs, so ``workers > 1`` runs them over a
+    process pool with identical results.
+    """
+    tasks = [
+        (
             rate,
-            n_tags=n_tags,
-            n_mobile=n_mobile,
-            n_cycles=n_cycles,
-            warmup_s=warmup_s,
-            phase2_duration_s=phase2_duration_s,
-            seed=seed,
-            disconnect_at_s=disconnect_at_s,
+            n_tags,
+            n_mobile,
+            n_cycles,
+            warmup_s,
+            phase2_duration_s,
+            seed,
+            tuple(disconnect_at_s),
         )
         for rate in loss_rates
     ]
+    points = parallel_map(run_point, tasks, workers=workers)
     return SweepResult(
         points=tuple(points),
         n_tags=n_tags,

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.cost import CostModel
 from repro.experiments.harness import build_lab
+from repro.experiments.parallel import parallel_map
 from repro.gen2.aloha import QAdaptive
 from repro.radio.constants import china_920_926
 from repro.util.tables import format_table
@@ -50,47 +51,58 @@ class Fig02Result:
         return (best_curve.irr_hz[0] - best_curve.irr_hz[-1]) / best_curve.irr_hz[0]
 
 
+def _measure_setting(
+    q: int, n: int, seed: int, repeats: int, use_hopping: bool
+) -> float:
+    """Mean round duration of one (Q, n) setting (its own seeded lab)."""
+    plan = china_920_926() if use_hopping else None
+    setup = build_lab(
+        n_tags=n,
+        n_mobile=0,
+        seed=seed,
+        n_antennas=1,
+        channel_plan=plan,
+    )
+    setup.reader.engine.strategy_factory = lambda q=q: QAdaptive(
+        initial_q=q
+    )
+    round_times = []
+    for _ in range(repeats):
+        result = setup.reader.inventory_round(0)
+        round_times.append(result.log.duration_s)
+    return float(np.mean(round_times))
+
+
 def run(
     tag_counts: Sequence[int] = (1, 2, 5, 10, 15, 20, 25, 30, 35, 40),
     initial_qs: Sequence[int] = (4, 2, 6),
     repeats: int = 20,
     seed: int = 1,
     use_hopping: bool = True,
+    workers: Optional[int] = None,
 ) -> Fig02Result:
     """Measure IRR curves and fit the cost model.
 
     ``repeats`` rounds are averaged per (n, Q) setting; the paper used 50
-    repetitions across 16 channels.
+    repetitions across 16 channels.  Every setting builds its own lab from
+    ``seed + 1000 * Q + n``, so ``workers > 1`` fans the settings over a
+    process pool without changing any number.
     """
     counts = sorted(tag_counts)
+    tasks = [
+        (q, n, seed + 1000 * q + n, repeats, use_hopping)
+        for q in initial_qs
+        for n in counts
+    ]
+    measured = parallel_map(_measure_setting, tasks, workers=workers)
     curves: List[IrrCurve] = []
-    plan = china_920_926() if use_hopping else None
-    for q in initial_qs:
-        irrs: List[float] = []
-        durations: List[float] = []
-        for n in counts:
-            setup = build_lab(
-                n_tags=n,
-                n_mobile=0,
-                seed=seed + 1000 * q + n,
-                n_antennas=1,
-                channel_plan=plan,
-            )
-            setup.reader.engine.strategy_factory = lambda q=q: QAdaptive(
-                initial_q=q
-            )
-            round_times = []
-            for _ in range(repeats):
-                result = setup.reader.inventory_round(0)
-                round_times.append(result.log.duration_s)
-            mean_duration = float(np.mean(round_times))
-            durations.append(mean_duration)
-            irrs.append(1.0 / mean_duration)
+    for i, q in enumerate(initial_qs):
+        durations = measured[i * len(counts):(i + 1) * len(counts)]
         curves.append(
             IrrCurve(
                 initial_q=q,
                 tag_counts=list(counts),
-                irr_hz=irrs,
+                irr_hz=[1.0 / d for d in durations],
                 round_durations_s=durations,
             )
         )

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core import TagwatchConfig
 from repro.experiments.harness import build_lab, irr_by_tag, read_all_irr
+from repro.experiments.parallel import parallel_map
 from repro.util.stats import percentile
 from repro.util.tables import format_table
 from repro.obs.logging import get_logger
@@ -132,29 +133,34 @@ def run(
     warmup_cycles: int = 2,
     phase2_duration_s: float = 2.0,
     seed: int = 29,
+    workers: Optional[int] = None,
 ) -> Fig18Result:
     """Sweep mobile percentage x population x selection method.
 
     The paper varies n over {50..400} with 1000 cycles per setting and a 5 s
     Phase II; defaults here shrink cycle counts and Phase II to keep the
     simulation tractable while preserving every ratio (warm-up cycles are
-    excluded from measurement in both runs).
+    excluded from measurement in both runs).  Each deployment is seeded by
+    its own (percent, n) pair, so ``workers > 1`` distributes deployments
+    over a process pool without changing the samples.
     """
+    tasks = [
+        (
+            percent,
+            n_tags,
+            method,
+            n_cycles,
+            warmup_cycles,
+            phase2_duration_s,
+            seed + int(percent * 100) + n_tags,
+        )
+        for percent in percents
+        for n_tags in populations
+        for method in methods
+    ]
     samples: List[GainSample] = []
-    for percent in percents:
-        for n_tags in populations:
-            for method in methods:
-                samples.extend(
-                    _deployment_gains(
-                        percent,
-                        n_tags,
-                        method,
-                        n_cycles,
-                        warmup_cycles,
-                        phase2_duration_s,
-                        seed=seed + int(percent * 100) + n_tags,
-                    )
-                )
+    for batch in parallel_map(_deployment_gains, tasks, workers=workers):
+        samples.extend(batch)
     return Fig18Result(
         samples=samples,
         percents=list(percents),

@@ -30,12 +30,13 @@ from __future__ import annotations
 
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import TagwatchConfig
 from repro.experiments.harness import LabSetup, build_lab
+from repro.experiments.parallel import parallel_map, spawn_seeds
 from repro.faults import AntennaBlackout, ChannelJam, FaultPlan, ReaderCrash
 from repro.runtime import (
     CheckpointStore,
@@ -371,6 +372,27 @@ def run(config: Optional[SoakConfig] = None) -> SoakReport:
         wall_s=time.perf_counter() - wall_start,
         fault_counters=counters,
     )
+
+
+def run_many(
+    config: Optional[SoakConfig] = None,
+    runs: int = 1,
+    workers: Optional[int] = None,
+) -> List[SoakReport]:
+    """Independent soak replicas, seeds spawned from ``config.seed``.
+
+    Each replica is the base config with a ``SeedSequence``-spawned child
+    seed (and its own temp checkpoint directory), so the replica set is a
+    pure function of ``(config.seed, runs)`` regardless of ``workers``.
+    """
+    config = config or SoakConfig()
+    if runs < 1:
+        raise ValueError("need at least one run")
+    tasks = [
+        (replace(config, seed=child_seed, checkpoint_dir=None),)
+        for child_seed in spawn_seeds(config.seed, runs)
+    ]
+    return parallel_map(run, tasks, workers=workers)
 
 
 def format_report(report: SoakReport) -> str:

@@ -74,8 +74,11 @@ class EPC:
         gen = make_rng(rng)
         n_words = (length + 31) // 32
         value = 0
-        for _ in range(n_words):
-            value = (value << 32) | int(gen.integers(0, 2**32))
+        # One batched draw; numpy's bounded generator consumes the identical
+        # stream words as the equivalent sequence of scalar calls, so seeded
+        # populations are unchanged.
+        for word in gen.integers(0, 2**32, size=n_words).tolist():
+            value = (value << 32) | word
         return cls(value & ((1 << length) - 1), length)
 
     # -- bit access --------------------------------------------------------

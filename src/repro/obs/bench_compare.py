@@ -1,0 +1,164 @@
+"""Bench regression gate: fresh runs vs the committed ``BENCH_*.json``.
+
+``python -m repro bench-compare`` (or ``make bench-compare``) re-runs each
+workload that has a committed baseline and fails when simulated-slots-per-
+wall-second drops by more than the tolerated fraction.  CI runs this on
+every push, so a change that quietly makes the simulator slower is caught
+in review rather than discovered three PRs later.
+
+Deliberate baseline changes (a faster engine, a heavier workload) are
+recorded by refreshing the JSON in the same PR::
+
+    make bench-refresh        # re-runs the workloads and rewrites BENCH_*.json
+
+and committing the result — the diff then documents the new trajectory.
+Only throughput is gated; simulated results are covered by the golden
+traces and the test suite, which is why the gate tolerates wall-clock noise
+with a generous margin instead of demanding equality.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.bench import WORKLOADS, run_bench
+from repro.util.tables import format_table
+
+__all__ = [
+    "BenchComparison",
+    "CompareReport",
+    "compare_result",
+    "load_baseline",
+    "run_compare",
+    "format_compare",
+]
+
+#: Fractional slots/s drop tolerated before the gate fails.  Generous on
+#: purpose: CI machines are noisy and the quantity being protected is the
+#: order of magnitude, not the last percent.
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+@dataclass
+class BenchComparison:
+    """One workload's fresh throughput against its committed baseline."""
+
+    name: str
+    baseline_slots_per_s: float
+    current_slots_per_s: float
+    max_regression: float
+    #: Fresh-vs-baseline slot-count mismatch is reported, not gated (counts
+    #: are covered by the functional suite; a drift here usually means the
+    #: baseline predates a workload change and needs a refresh).
+    baseline_slots: int = 0
+    current_slots: int = 0
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline throughput (> 1 means faster)."""
+        if self.baseline_slots_per_s <= 0:
+            return float("inf")
+        return self.current_slots_per_s / self.baseline_slots_per_s
+
+    @property
+    def regressed(self) -> bool:
+        return self.ratio < (1.0 - self.max_regression)
+
+    @property
+    def counts_drifted(self) -> bool:
+        return self.baseline_slots != self.current_slots
+
+
+@dataclass
+class CompareReport:
+    """The gate's verdict over every compared workload."""
+
+    comparisons: List[BenchComparison] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(not c.regressed for c in self.comparisons)
+
+
+def load_baseline(name: str, baseline_dir: str = ".") -> Optional[Dict]:
+    """Load ``BENCH_<name>.json`` from ``baseline_dir``; None when absent."""
+    path = os.path.join(baseline_dir, f"BENCH_{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_result(
+    baseline: Dict,
+    current,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> BenchComparison:
+    """Compare one fresh :class:`BenchResult` against a baseline dict."""
+    return BenchComparison(
+        name=str(baseline.get("name", current.name)),
+        baseline_slots_per_s=float(baseline.get("slots_per_wall_s", 0.0)),
+        current_slots_per_s=current.slots_per_wall_s,
+        max_regression=max_regression,
+        baseline_slots=int(baseline.get("counts", {}).get("slots", 0)),
+        current_slots=int(current.counts.get("slots", 0)),
+    )
+
+
+def run_compare(
+    names: Optional[Sequence[str]] = None,
+    scale: str = "smoke",
+    baseline_dir: str = ".",
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    warmup: int = 1,
+    repeats: int = 3,
+) -> CompareReport:
+    """Re-run workloads with committed baselines; compare throughput."""
+    report = CompareReport()
+    for name in names if names is not None else sorted(WORKLOADS):
+        name = name.strip()
+        baseline = load_baseline(name, baseline_dir)
+        if baseline is None:
+            report.skipped.append(name)
+            continue
+        current = run_bench(name, scale=scale, warmup=warmup, repeats=repeats)
+        report.comparisons.append(
+            compare_result(baseline, current, max_regression)
+        )
+    return report
+
+
+def format_compare(report: CompareReport) -> str:
+    """Human-readable verdict table for the CLI and CI logs."""
+    headers = ["workload", "baseline slots/s", "current slots/s", "ratio", "verdict"]
+    rows: List[List[object]] = []
+    for c in report.comparisons:
+        verdict = "REGRESSED" if c.regressed else "ok"
+        if c.counts_drifted:
+            verdict += " (slot counts drifted; refresh baseline?)"
+        rows.append(
+            [
+                c.name,
+                round(c.baseline_slots_per_s, 1),
+                round(c.current_slots_per_s, 1),
+                round(c.ratio, 3),
+                verdict,
+            ]
+        )
+    lines = [
+        format_table(
+            headers,
+            rows,
+            title="bench-compare: throughput vs committed baselines",
+        )
+    ]
+    if report.skipped:
+        lines.append(
+            "skipped (no baseline): " + ", ".join(sorted(report.skipped))
+        )
+    lines.append("PASS" if report.passed else "FAIL")
+    return "\n".join(lines)

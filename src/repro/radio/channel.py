@@ -50,6 +50,62 @@ def path_loss_amplitude(distance_m: float, wavelength_m: float) -> float:
     return wavelength_m / (4.0 * np.pi * d)
 
 
+#: Channel-independent description of a monostatic link's geometry: the
+#: direct-path length plus ``(coefficient, path_length)`` per reflector echo.
+PathGeometry = Tuple[float, Tuple[Tuple[float, float], ...]]
+
+
+def path_geometry(
+    antenna: PointLike,
+    tag: PointLike,
+    reflectors: Sequence[Reflector] = (),
+) -> PathGeometry:
+    """Path lengths of an antenna->tag link, independent of frequency.
+
+    The geometry only changes when something moves, while the frequency
+    changes on every hop; splitting the two lets a static link amortise the
+    distance computations across the whole channel plan.
+    """
+    a = as_point(antenna)
+    t = as_point(tag)
+    d_direct = float(np.linalg.norm(a - t))
+    echoes = tuple(
+        (
+            reflector.coefficient,
+            float(
+                np.linalg.norm(a - reflector.position)
+                + np.linalg.norm(reflector.position - t)
+            ),
+        )
+        for reflector in reflectors
+    )
+    return d_direct, echoes
+
+
+def one_way_gain_from_geometry(
+    geometry: PathGeometry, freq_hz: float
+) -> complex:
+    """One-way gain from precomputed path lengths (same arithmetic as
+    :func:`one_way_gain`, so results are bit-identical)."""
+    lam = wavelength(freq_hz)
+    d_direct, echoes = geometry
+    g = path_loss_amplitude(d_direct, lam) * np.exp(
+        -2j * np.pi * d_direct / lam
+    )
+    for coefficient, d_path in echoes:
+        amp = coefficient * path_loss_amplitude(d_path, lam)
+        g += amp * np.exp(-2j * np.pi * d_path / lam)
+    return complex(g)
+
+
+def backscatter_gain_from_geometry(
+    geometry: PathGeometry, freq_hz: float
+) -> complex:
+    """Round-trip gain from precomputed path lengths (one-way squared)."""
+    g = one_way_gain_from_geometry(geometry, freq_hz)
+    return g * g
+
+
 def one_way_gain(
     antenna: PointLike,
     tag: PointLike,
@@ -57,19 +113,9 @@ def one_way_gain(
     reflectors: Sequence[Reflector] = (),
 ) -> complex:
     """Complex one-way channel gain antenna -> tag including reflections."""
-    lam = wavelength(freq_hz)
-    a = as_point(antenna)
-    t = as_point(tag)
-    d_direct = float(np.linalg.norm(a - t))
-    g = path_loss_amplitude(d_direct, lam) * np.exp(
-        -2j * np.pi * d_direct / lam
+    return one_way_gain_from_geometry(
+        path_geometry(antenna, tag, reflectors), freq_hz
     )
-    for reflector in reflectors:
-        p = reflector.position
-        d_path = float(np.linalg.norm(a - p) + np.linalg.norm(p - t))
-        amp = reflector.coefficient * path_loss_amplitude(d_path, lam)
-        g += amp * np.exp(-2j * np.pi * d_path / lam)
-    return complex(g)
 
 
 def backscatter_gain(

@@ -10,7 +10,7 @@ motion indicator in Fig 12/13.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -61,6 +61,77 @@ def _quantize(value: float, quantum: float) -> float:
     return round(value / quantum) * quantum
 
 
+def measurement_bases(
+    gain: complex,
+    tag_phase_offset_rad: float,
+    lo_phase_offset_rad: float,
+    noise: NoiseModel,
+) -> Tuple[float, float]:
+    """The deterministic halves of a measurement: (phase base, RSS base).
+
+    Both are pure functions of the channel gain and the fixed offsets, so a
+    caller observing a static geometry can compute them once and re-apply
+    noise and quantisation per read via :func:`measure_from_bases`.
+    """
+    magnitude = abs(gain)
+    if magnitude <= 0:
+        raise ValueError("channel gain has zero magnitude; tag is unreachable")
+    phase_base = np.angle(gain) + tag_phase_offset_rad + lo_phase_offset_rad
+    rss_base = noise.tx_constant_dbm + 20.0 * np.log10(magnitude)
+    return float(phase_base), float(rss_base)
+
+
+def measure_from_bases(
+    phase_base: float,
+    rss_base: float,
+    noise: NoiseModel,
+    rng: SeedLike = None,
+) -> Tuple[float, float]:
+    """Apply per-read noise and quantisation to precomputed bases.
+
+    Draws exactly one phase and one RSS noise sample, in that order, so the
+    RNG stream matches :func:`measure` sample for sample.
+    """
+    gen = make_rng(rng)
+    phase = phase_base + gen.normal(0.0, noise.phase_noise_std_rad)
+    phase = float(np.mod(_quantize(phase, noise.phase_quantum_rad), TWO_PI))
+    rss = rss_base + gen.normal(0.0, noise.rss_noise_std_db)
+    rss = float(_quantize(rss, noise.rss_quantum_db))
+    return phase, rss
+
+
+def measure_many_from_bases(
+    bases: Sequence[Tuple[float, float]],
+    noise: NoiseModel,
+    rng: SeedLike = None,
+) -> List[Tuple[float, float]]:
+    """Batch equivalent of :func:`measure_from_bases` for ordered reads.
+
+    Draws all noise samples with one ``standard_normal(2k)`` call.  A scalar
+    ``normal(0, std)`` is exactly ``std * standard_normal()`` and consumes
+    one draw, so both the values and the RNG stream position match ``k``
+    sequential :func:`measure_from_bases` calls bit for bit.
+    """
+    gen = make_rng(rng)
+    if not bases:
+        return []
+    z = gen.standard_normal(2 * len(bases)).tolist()
+    phase_std = noise.phase_noise_std_rad
+    rss_std = noise.rss_noise_std_db
+    phase_q = noise.phase_quantum_rad
+    rss_q = noise.rss_quantum_db
+    out = []
+    i = 0
+    for phase_base, rss_base in bases:
+        phase = phase_base + phase_std * z[i]
+        phase = float(np.mod(_quantize(phase, phase_q), TWO_PI))
+        rss = rss_base + rss_std * z[i + 1]
+        rss = float(_quantize(rss, rss_q))
+        out.append((phase, rss))
+        i += 2
+    return out
+
+
 def measure(
     gain: complex,
     tag_phase_offset_rad: float,
@@ -74,18 +145,10 @@ def measure(
     Section 4.3); ``lo_phase_offset_rad`` models the reader's per-channel
     local-oscillator offset.
     """
-    gen = make_rng(rng)
-    magnitude = abs(gain)
-    if magnitude <= 0:
-        raise ValueError("channel gain has zero magnitude; tag is unreachable")
-    phase = np.angle(gain) + tag_phase_offset_rad + lo_phase_offset_rad
-    phase += gen.normal(0.0, noise.phase_noise_std_rad)
-    phase = float(np.mod(_quantize(phase, noise.phase_quantum_rad), TWO_PI))
-
-    rss = noise.tx_constant_dbm + 20.0 * np.log10(magnitude)
-    rss += gen.normal(0.0, noise.rss_noise_std_db)
-    rss = float(_quantize(rss, noise.rss_quantum_db))
-    return phase, rss
+    phase_base, rss_base = measurement_bases(
+        gain, tag_phase_offset_rad, lo_phase_offset_rad, noise
+    )
+    return measure_from_bases(phase_base, rss_base, noise, rng)
 
 
 def snr_floor_dbm() -> float:

@@ -66,6 +66,7 @@ class SimReader:
         seed: int = 0,
         with_replacement: bool = True,
         read_loss_probability: float = 0.0,
+        engine: Optional[str] = None,
     ) -> None:
         self.scene = scene
         self.timing = timing
@@ -77,6 +78,7 @@ class SimReader:
             rng=self._streams.child("slots"),
             with_replacement=with_replacement,
             read_loss_probability=read_loss_probability,
+            engine=engine,
         )
         self.time_s = 0.0
         self._channel_index = 0
@@ -116,6 +118,10 @@ class SimReader:
     ) -> List[int]:
         """Tag indices that will contend: in range, present, SL-selected."""
         in_range = self.scene.tags_in_range(antenna_index, self.time_s)
+        if not selects:
+            # No Select => every in-range tag participates (SL unfiltered);
+            # skip materialising the memory-bank views entirely.
+            return list(in_range)
         matchables = [self.scene.tags[i].matchable() for i in in_range]
         flags = apply_selects(list(selects), matchables)
         return [idx for idx, flag in zip(in_range, flags) if flag]
@@ -171,19 +177,25 @@ class SimReader:
             start_time_s=self.time_s,
             max_duration_s=max_duration_s,
         )
-        observations = []
-        for read in log.reads:
-            # A tag may leave the scene mid-round (participants are fixed
-            # when the round starts); it simply stops responding, so its
-            # pending read produces no report.
-            if not self.scene.tags[read.tag_index].is_present(read.time_s):
-                continue
-            obs = self.scene.observe(
-                read.tag_index, antenna_index, channel, read.time_s
-            )
-            observations.append(obs)
-            for callback in self._report_callbacks:
-                callback(obs)
+        # A tag may leave the scene mid-round (participants are fixed when
+        # the round starts); it simply stops responding, so its pending read
+        # produces no report.
+        scene = self.scene
+        present = [
+            read
+            for read in log.reads
+            if scene.is_tag_present(read.tag_index, read.time_s)
+        ]
+        observations = scene.observe_batch(
+            [read.tag_index for read in present],
+            antenna_index,
+            channel,
+            [read.time_s for read in present],
+        )
+        if self._report_callbacks:
+            for obs in observations:
+                for callback in self._report_callbacks:
+                    callback(obs)
         self.time_s = log.end_time_s
         if round_span is not None:
             tracer.end(

@@ -28,15 +28,55 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+#: Component names form a small fixed vocabulary, so their hashes are
+#: memoised; generators themselves are never cached (they are stateful).
+_NAME_SALTS: dict = {}
+
+
+def _name_salt(name: str) -> int:
+    salt = _NAME_SALTS.get(name)
+    if salt is None:
+        digest = hashlib.sha256(name.encode("utf-8")).digest()
+        salt = int.from_bytes(digest[:8], "big")
+        _NAME_SALTS[name] = salt
+    return salt
+
+
+#: Initial PCG64 states per (seed, name).  Experiments rebuild readers and
+#: scenes constantly with a handful of seeds, so replaying a cached state into
+#: a fresh bit generator is cheaper than re-expanding the seed material.  The
+#: cache is bounded; past the cap derivation falls back to the direct path.
+_STATE_CACHE: dict = {}
+_STATE_CACHE_MAX = 4096
+#: Throwaway seed material for the bit generator whose state is immediately
+#: overwritten on the replay path (constructing from a prepared SeedSequence
+#: is faster than from an integer seed).
+_REPLAY_SS = np.random.SeedSequence(0)
+
+
 def derive_rng(parent_seed: int, name: str) -> np.random.Generator:
     """Derive an independent generator from ``parent_seed`` keyed by ``name``.
 
     The name is hashed into the seed material so that streams for different
-    components are statistically independent yet fully reproducible.
+    components are statistically independent yet fully reproducible.  Repeat
+    derivations replay a cached initial state, which yields a bit-identical
+    generator without re-running the SeedSequence expansion.
     """
-    digest = hashlib.sha256(name.encode("utf-8")).digest()
-    salt = int.from_bytes(digest[:8], "big")
-    return np.random.default_rng(np.random.SeedSequence([parent_seed, salt]))
+    key = (parent_seed, name)
+    state = _STATE_CACHE.get(key)
+    if state is not None:
+        bit_generator = np.random.PCG64(_REPLAY_SS)
+        bit_generator.state = state
+        return np.random.Generator(bit_generator)
+    gen = np.random.default_rng(
+        np.random.SeedSequence([parent_seed, _name_salt(name)])
+    )
+    if (
+        isinstance(gen.bit_generator, np.random.PCG64)
+        and len(_STATE_CACHE) < _STATE_CACHE_MAX
+    ):
+        _STATE_CACHE[key] = gen.bit_generator.state
+    return gen
 
 
 class RngStream:
@@ -63,9 +103,7 @@ class RngStream:
 
     def child_seed(self, name: str) -> int:
         """Return an integer seed derived for ``name`` (for sub-streams)."""
-        digest = hashlib.sha256(name.encode("utf-8")).digest()
-        salt = int.from_bytes(digest[:8], "big")
-        return (self.seed * 1_000_003 + salt) % (2**63 - 1)
+        return (self.seed * 1_000_003 + _name_salt(name)) % (2**63 - 1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngStream(seed={self.seed})"

@@ -13,10 +13,21 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.gen2.epc import EPC, TagMemory
-from repro.radio.channel import Reflector, backscatter_gain
+from repro.radio.channel import (
+    Reflector,
+    backscatter_gain,
+    backscatter_gain_from_geometry,
+    path_geometry,
+)
 from repro.radio.constants import ChannelPlan, single_channel
 from repro.radio.geometry import PointLike, as_point, distance
-from repro.radio.measurement import NoiseModel, TagObservation, measure
+from repro.radio.measurement import (
+    NoiseModel,
+    TagObservation,
+    measure_from_bases,
+    measure_many_from_bases,
+    measurement_bases,
+)
 from repro.util.circular import TWO_PI
 from repro.util.rng import RngStream
 from repro.world.motion import Stationary, Trajectory
@@ -126,6 +137,38 @@ class Scene:
         }
         if len(self._epc_to_index) != len(self.tags):
             raise ValueError("duplicate EPCs in scene")
+        self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
+        """Drop derived per-tag state (rebuilt lazily).
+
+        Tag trajectories, antennas and ambient objects are fixed after
+        construction (only the tag *list* changes, via add_tag/remove_tag,
+        which lands here through ``_reindex``), so geometry that does not
+        depend on ``t`` — which stationary tags each antenna can reach, the
+        round-trip gain of a stationary tag on a given (antenna, channel) —
+        is computed once and reused.  Cached values are produced by exactly
+        the same code path as the uncached ones, so results are
+        bit-identical either way.
+        """
+        self._tag_static = [
+            isinstance(tag.trajectory, Stationary) for tag in self.tags
+        ]
+        neg_inf, pos_inf = float("-inf"), float("inf")
+        self._always_present = [
+            tag.enter_time == neg_inf
+            and tag.exit_time == pos_inf
+            and not tag.blocked_intervals
+            for tag in self.tags
+        ]
+        self._static_in_range: Dict[int, frozenset] = {}
+        #: (tag, antenna, channel) -> deterministic (phase, RSS) bases.
+        self._gain_cache: Dict[Tuple[int, int, int], Tuple[float, float]] = {}
+        #: (tag, antenna) -> channel-independent path geometry; shared by all
+        #: channels of the plan, so a hop only re-runs the per-frequency part.
+        self._geom_cache: Dict[Tuple[int, int], object] = {}
+        self._env_static: Optional[bool] = None
+        self._static_reflectors: Optional[List[Reflector]] = None
 
     def add_tag(self, tag: TagInstance) -> int:
         """Add a tag; returns its index."""
@@ -158,11 +201,55 @@ class Scene:
             for obj in self.ambient_objects
         ]
 
+    def _environment_static(self) -> bool:
+        """Whether every ambient scatterer is stationary (cached)."""
+        if self._env_static is None:
+            self._env_static = all(
+                isinstance(obj.trajectory, Stationary)
+                for obj in self.ambient_objects
+            )
+        return self._env_static
+
+    def _reflectors_for(self, t: float) -> List[Reflector]:
+        """Reflector list for gain computation; cached when all static."""
+        if not self._environment_static():
+            return self.reflectors_at(t)
+        if self._static_reflectors is None:
+            # Stationary positions are t-independent, so one snapshot serves
+            # every query time.
+            self._static_reflectors = self.reflectors_at(t)
+        return self._static_reflectors
+
+    def _static_tags_in_range(self, antenna_index: int) -> frozenset:
+        """Stationary tags within one antenna's range (t-independent)."""
+        cached = self._static_in_range.get(antenna_index)
+        if cached is None:
+            antenna = self.antennas[antenna_index]
+            cached = frozenset(
+                i
+                for i, tag in enumerate(self.tags)
+                if self._tag_static[i]
+                and distance(
+                    antenna.position, tag.trajectory.position(0.0)
+                )
+                <= antenna.range_m
+            )
+            self._static_in_range[antenna_index] = cached
+        return cached
+
     def tags_in_range(self, antenna_index: int, t: float) -> List[int]:
         """Indices of present tags that antenna ``antenna_index`` can power."""
         antenna = self.antennas[antenna_index]
+        static_reachable = self._static_tags_in_range(antenna_index)
+        always_present = self._always_present
         out = []
         for i, tag in enumerate(self.tags):
+            if self._tag_static[i]:
+                if i in static_reachable and (
+                    always_present[i] or tag.is_present(t)
+                ):
+                    out.append(i)
+                continue
             if not tag.is_present(t):
                 continue
             if distance(antenna.position, tag.trajectory.position(t)) <= antenna.range_m:
@@ -178,22 +265,15 @@ class Scene:
     ) -> TagObservation:
         """The (phase, RSS) report of one read, with noise and quantisation."""
         tag = self.tags[tag_index]
-        if not tag.is_present(t):
+        if not (
+            self._always_present[tag_index] or tag.is_present(t)
+        ):
             raise ValueError(f"tag {tag_index} is not present at t={t}")
-        antenna = self.antennas[antenna_index]
-        freq = self.channel_plan.frequency(channel_index)
-        gain = backscatter_gain(
-            antenna.position,
-            tag.trajectory.position(t),
-            freq,
-            self.reflectors_at(t),
+        bases = self._measurement_bases_for(
+            tag_index, antenna_index, channel_index, t
         )
-        phase, rss = measure(
-            gain,
-            tag.phase_offset_rad,
-            self.lo_offset(antenna_index, channel_index),
-            self.noise,
-            self._measure_rng,
+        phase, rss = measure_from_bases(
+            bases[0], bases[1], self.noise, self._measure_rng
         )
         return TagObservation(
             epc=tag.epc,
@@ -203,6 +283,97 @@ class Scene:
             antenna_index=antenna_index,
             channel_index=channel_index,
         )
+
+    def _measurement_bases_for(
+        self,
+        tag_index: int,
+        antenna_index: int,
+        channel_index: int,
+        t: float,
+    ) -> Tuple[float, float]:
+        """Deterministic (phase, RSS) bases of one read; cached when static."""
+        cacheable = self._tag_static[tag_index] and self._environment_static()
+        if cacheable:
+            # Tag and every scatterer are stationary: the round-trip gain on
+            # one (tag, antenna, channel) never changes, so the deterministic
+            # measurement bases derived from it are reused bit for bit.
+            key = (tag_index, antenna_index, channel_index)
+            bases = self._gain_cache.get(key)
+            if bases is not None:
+                return bases
+        tag = self.tags[tag_index]
+        antenna = self.antennas[antenna_index]
+        freq = self.channel_plan.frequency(channel_index)
+        if cacheable:
+            # Distances are t-independent here; reuse them across channels
+            # (the per-frequency arithmetic is identical to the direct path,
+            # so the resulting gain is bit-identical).
+            geom_key = (tag_index, antenna_index)
+            geometry = self._geom_cache.get(geom_key)
+            if geometry is None:
+                geometry = path_geometry(
+                    antenna.position,
+                    tag.trajectory.position(t),
+                    self._reflectors_for(t),
+                )
+                self._geom_cache[geom_key] = geometry
+            gain = backscatter_gain_from_geometry(geometry, freq)
+        else:
+            gain = backscatter_gain(
+                antenna.position,
+                tag.trajectory.position(t),
+                freq,
+                self._reflectors_for(t),
+            )
+        bases = measurement_bases(
+            gain,
+            tag.phase_offset_rad,
+            self.lo_offset(antenna_index, channel_index),
+            self.noise,
+        )
+        if cacheable:
+            self._gain_cache[key] = bases
+        return bases
+
+    def is_tag_present(self, tag_index: int, t: float) -> bool:
+        """Presence check with a fast path for never-absent tags."""
+        return self._always_present[tag_index] or self.tags[tag_index].is_present(t)
+
+    def observe_batch(
+        self,
+        tag_indices: Sequence[int],
+        antenna_index: int,
+        channel_index: int,
+        times: Sequence[float],
+    ) -> List[TagObservation]:
+        """Observations for several reads of one round, in read order.
+
+        RNG-equivalent to calling :meth:`observe` per read (noise samples are
+        drawn in one batch in the same order).  Callers must have filtered
+        out absent tags; presence is not re-checked here.
+        """
+        bases_for = self._measurement_bases_for
+        bases_list = [
+            bases_for(tag_index, antenna_index, channel_index, t)
+            for tag_index, t in zip(tag_indices, times)
+        ]
+        pairs = measure_many_from_bases(
+            bases_list, self.noise, self._measure_rng
+        )
+        tags = self.tags
+        return [
+            TagObservation(
+                epc=tags[tag_index].epc,
+                time_s=t,
+                phase_rad=phase,
+                rss_dbm=rss,
+                antenna_index=antenna_index,
+                channel_index=channel_index,
+            )
+            for (tag_index, t), (phase, rss) in zip(
+                zip(tag_indices, times), pairs
+            )
+        ]
 
     # ------------------------------------------------------------------
     def moving_tag_indices(self, t: float) -> List[int]:

@@ -1,0 +1,115 @@
+"""Differential tests: fast inventory engine vs the reference slot walk.
+
+The fast engine's contract is *bit-for-bit equivalence*: same reads, same
+timing, same counters, same RNG stream position as the sequential reference
+path for every strategy, session mode, loss rate and deadline.  Hypothesis
+drives both engines over that parameter space and compares everything the
+log exposes — plus four post-round draws, which catch any divergence in how
+many words each path consumed from the generator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gen2.aloha import FixedQ, IdealDFSA, QAdaptive
+from repro.gen2.inventory import InventoryEngine
+from repro.gen2.timing import R420_PROFILE
+
+
+def _factory(kind, q):
+    if kind == "qadaptive":
+        return lambda: QAdaptive(initial_q=q)
+    if kind == "fixedq":
+        return lambda: FixedQ(q)
+    return lambda: IdealDFSA()
+
+
+def _signature(engine_name, kind, q, n_tags, seed, with_replacement,
+               loss, deadline, rounds, probe_stream):
+    """Everything observable from ``rounds`` consecutive rounds."""
+    engine = InventoryEngine(
+        R420_PROFILE,
+        _factory(kind, q),
+        rng=seed,
+        with_replacement=with_replacement,
+        read_loss_probability=loss,
+        engine=engine_name,
+    )
+    out = []
+    for _ in range(rounds):
+        log = engine.run_round(range(n_tags), max_duration_s=deadline)
+        out.append(
+            (
+                [
+                    (r.tag_index, r.round_index, r.slot_in_round, r.time_s)
+                    for r in log.reads
+                ],
+                log.n_empty,
+                log.n_single,
+                log.n_collision,
+                log.n_duplicate,
+                log.n_lost,
+                log.n_adjusts,
+                log.truncated,
+                log.end_time_s,
+            )
+        )
+    # The stream position must match too: a path that consumed a different
+    # number of PCG64 words would diverge on the *next* round.  Probed with
+    # ``random()`` (whole-word draws) because a pending spare 32-bit lane
+    # legitimately lives python-side in the fast engine but inside numpy's
+    # cache in the reference — same word position, different cache *home*.
+    # Not meaningful at all when the fast path's bulk lane prefetch is
+    # engaged (loss-free QAdaptive/FixedQ runs): the engine's rng is
+    # private, and the prefetch deliberately runs the raw position ahead
+    # while the lane buffer carries the unconsumed draws across rounds —
+    # which the multi-round log comparison above already exercises.
+    if probe_stream:
+        out.append(tuple(engine.rng.random(size=4).tolist()))
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    kind=st.sampled_from(["qadaptive", "fixedq", "dfsa"]),
+    q=st.integers(min_value=0, max_value=7),
+    n_tags=st.sampled_from([0, 1, 3, 17, 60]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    with_replacement=st.booleans(),
+    loss=st.sampled_from([0.0, 0.1, 0.5]),
+    deadline=st.sampled_from([None, 0.02]),
+)
+def test_fast_matches_reference(
+    kind, q, n_tags, seed, with_replacement, loss, deadline
+):
+    original_cap = InventoryEngine.MAX_SLOTS_PER_ROUND
+    # A low cap makes the truncation path reachable (FixedQ(0) over many
+    # tags collides forever) without hypothesis-hostile runtimes.
+    InventoryEngine.MAX_SLOTS_PER_ROUND = 1500
+    probe_stream = loss > 0.0 or kind == "dfsa"
+    try:
+        fast = _signature(
+            "fast", kind, q, n_tags, seed, with_replacement, loss,
+            deadline, rounds=2, probe_stream=probe_stream,
+        )
+        reference = _signature(
+            "reference", kind, q, n_tags, seed, with_replacement, loss,
+            deadline, rounds=2, probe_stream=probe_stream,
+        )
+    finally:
+        InventoryEngine.MAX_SLOTS_PER_ROUND = original_cap
+    assert fast == reference
+
+
+def test_engine_env_default(monkeypatch):
+    monkeypatch.setenv("REPRO_INVENTORY_ENGINE", "reference")
+    engine = InventoryEngine(R420_PROFILE, lambda: QAdaptive(initial_q=4))
+    assert engine.engine == "reference"
+
+
+def test_engine_rejects_unknown():
+    with pytest.raises(ValueError):
+        InventoryEngine(
+            R420_PROFILE, lambda: QAdaptive(initial_q=4), engine="warp"
+        )

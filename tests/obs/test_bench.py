@@ -51,7 +51,8 @@ def test_write_bench_json_shape(fig02_result, tmp_path):
     data = json.loads(open(path).read())
     assert data["name"] == "fig02"
     assert set(data) == {
-        "name", "scale", "wall_s", "sim_s", "breakdown", "counts", "workload"
+        "name", "scale", "wall_s", "sim_s", "slots_per_wall_s",
+        "breakdown", "counts", "workload",
     }
     assert data["counts"]["rounds"] == fig02_result.counts["rounds"]
 

@@ -111,7 +111,6 @@ class TestObservabilityWiring:
 
     def test_bench_command(self, tmp_path, capsys):
         import json
-        import os
 
         assert (
             main(
@@ -124,7 +123,7 @@ class TestObservabilityWiring:
         assert "fig02/smoke" in out
         data = json.loads((tmp_path / "BENCH_fig02.json").read_text())
         assert data["counts"]["rounds"] > 0
-        assert not os.path.exists("BENCH_fig18.json")
+        assert not (tmp_path / "BENCH_fig18.json").exists()
 
     def test_bench_no_write(self, tmp_path, capsys):
         assert (
