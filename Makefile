@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest underneath.
 
-.PHONY: install test test-faults test-runtime bench bench-smoke bench-micro bench-compare bench-refresh soak soak-smoke examples reproduce clean
+.PHONY: install test test-faults test-runtime test-site bench bench-smoke bench-micro bench-compare bench-refresh soak soak-smoke site-smoke examples reproduce clean
 
 install:
 	python setup.py develop
@@ -14,6 +14,10 @@ test-faults:
 
 test-runtime:
 	pytest tests/runtime
+
+test-site:
+	pytest tests/site tests/experiments/test_fig_redundancy.py \
+		tests/experiments/test_parallel.py
 
 bench:
 	python -m repro bench --name all --scale smoke
@@ -47,6 +51,13 @@ soak-smoke:
 	python -m repro soak --cycles 300 --seed 1 \
 		--crash-every 40 --kill-every 100 --corrupt-every 120 \
 		--jam-every 50 --blackout-every 60 --out soak_report.json
+
+# Multi-reader site smoke: a small 4-reader/1k-tag warehouse site, sharded
+# across the pool, with the fusion invariant suite and a differential check
+# (sharded byte-identical to sequential); exits non-zero on any mismatch.
+site-smoke:
+	python -m repro site --readers 4 --tags 1000 --duration 0.5 \
+		--workers 4 --check-differential --out site_run.json
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; python $$script; done

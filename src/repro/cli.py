@@ -28,6 +28,12 @@ Commands
     churn, middleware kills, checkpoint corruption — with runtime
     invariants checked after every cycle.  Exits non-zero on any
     violation (see ``docs/robustness.md``).
+``site [--readers N --tags N --workers W --check-differential]``
+    Simulate a multi-reader warehouse site (overlapping coverage, channel
+    coordination, reader-to-reader interference) sharded across the
+    process pool, fuse the per-reader reports, and run the site invariant
+    suite.  ``--check-differential`` re-runs sequentially and fails
+    unless the sharded result is byte-identical (see ``docs/site.md``).
 
 Every subcommand accepts ``--trace-out F`` (simulation-time trace; Chrome
 trace-event JSON by default, ``--trace-format jsonl`` for the event log)
@@ -58,6 +64,7 @@ from repro.experiments import (
     fig15_feasibility,
     fig17_cost,
     fig18_gain,
+    fig_redundancy,
 )
 from repro.experiments.harness import build_lab
 from repro.gen2.epc import random_epc_population
@@ -177,6 +184,20 @@ FIGURES: Dict[str, tuple] = {
         ),
         lambda workers=None: fig18_gain.format_report(
             fig18_gain.run(workers=workers)
+        ),
+    ),
+    "redundancy": (
+        "multi-reader redundancy vs throughput (site simulation)",
+        lambda workers=None: fig_redundancy.format_report(
+            fig_redundancy.run(workers=workers)
+        ),
+        lambda workers=None: fig_redundancy.format_report(
+            fig_redundancy.run(
+                overlaps=(1, 2, 4, 8),
+                n_tags=480,
+                duration_s=1.0,
+                workers=workers,
+            )
         ),
     ),
 }
@@ -421,6 +442,78 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_site(args: argparse.Namespace) -> int:
+    """Simulate a multi-reader site; check invariants (and the differential)."""
+    from repro.runtime.invariants import SiteInvariantSuite
+    from repro.site import (
+        ChannelCoordinator,
+        SiteConfig,
+        line_site,
+        ring_site,
+        simulate_site,
+    )
+
+    build = ring_site if args.layout == "ring" else line_site
+    config = SiteConfig(
+        topology=build(args.readers, args.tags),
+        seed=args.seed,
+        duration_s=args.duration,
+        base_read_loss=args.loss,
+        coordinator=ChannelCoordinator(n_channels=args.channels),
+    )
+    run = simulate_site(config, workers=args.workers)
+    per_reader = run.reports_per_reader()
+    rows = [
+        [
+            summary["reader_id"],
+            summary["n_rounds"],
+            summary["n_slots"],
+            per_reader[summary["reader_id"]],
+            summary["read_loss_probability"],
+        ]
+        for summary in run.reader_summaries
+    ]
+    _log.info(
+        format_table(
+            ["reader", "rounds", "slots", "fused reads", "read loss"],
+            rows,
+            title=(
+                f"Site: {run.n_readers} reader(s) ({args.layout}), "
+                f"{config.topology.n_tags} tags, {config.duration_s:.2f} s — "
+                f"{run.aggregate_reports} fused reads, "
+                f"{len(run.missed_epc_values())} missed "
+                f"({run.missed_rate:.1%})"
+            ),
+        )
+    )
+    code = 0
+    suite = SiteInvariantSuite(run.truth_epc_values)
+    for violation in suite.check(run.fusion):
+        _log.error(f"invariant violation: {violation}")
+    if not suite.ok:
+        code = 1
+    else:
+        _log.info("site invariants: ok")
+    if args.check_differential:
+        reference = simulate_site(config, workers=1)
+        if reference.canonical_bytes() != run.canonical_bytes():
+            _log.error(
+                "differential check FAILED: sharded run diverges from the "
+                "sequential reference"
+            )
+            code = 1
+        else:
+            _log.info(
+                "differential check: sharded run byte-identical to "
+                "sequential reference"
+            )
+    if args.out:
+        with open(args.out, "wb") as handle:
+            handle.write(run.canonical_bytes())
+        _log.info(f"wrote {args.out}")
+    return code
+
+
 def cmd_rospec(args: argparse.Namespace) -> int:
     """Plan a Phase II schedule and dump its ROSpec XML."""
     population = random_epc_population(args.population, rng=args.seed)
@@ -543,7 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_figure.add_argument(
         "--workers", type=int, default=None,
-        help="process-pool size for sweep figures (fig2, fig18); "
+        help="process-pool size for sweep figures (fig2, fig18, redundancy); "
         "-1: one per core; results are identical to a sequential run",
     )
 
@@ -669,13 +762,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for --runs replicas; -1: one per core",
     )
 
+    p_site = sub.add_parser(
+        "site",
+        help="simulate a multi-reader site; check fusion invariants",
+        parents=obs_parents,
+    )
+    p_site.add_argument("--readers", type=int, default=4)
+    p_site.add_argument("--tags", type=int, default=1000)
+    p_site.add_argument(
+        "--layout", choices=("ring", "line"), default="ring",
+        help="ring: full overlap (redundancy); line: aisle of partial overlap",
+    )
+    p_site.add_argument("--duration", type=float, default=0.5)
+    p_site.add_argument("--seed", type=int, default=0)
+    p_site.add_argument(
+        "--loss", type=float, default=0.2,
+        help="per-read loss probability every reader suffers even alone",
+    )
+    p_site.add_argument(
+        "--channels", type=int, default=16,
+        help="channels in the coordinator's plan (fewer = more interference)",
+    )
+    p_site.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (one task per reader); -1: one per core",
+    )
+    p_site.add_argument(
+        "--check-differential", action="store_true",
+        help="also run sequentially and fail unless byte-identical",
+    )
+    p_site.add_argument(
+        "--out", default="", help="write the canonical site payload here"
+    )
+
     p_bench = sub.add_parser(
         "bench", help="profile the workloads: per-phase time budget",
         parents=obs_parents,
     )
     p_bench.add_argument(
         "--name", default="all",
-        help='comma-separated workload names, or "all" (fig02, fig18, soak)',
+        help='comma-separated workload names, or "all" '
+        "(fig02, fig18, site, soak)",
     )
     p_bench.add_argument(
         "--scale", choices=("smoke", "paper"), default="smoke"
@@ -702,7 +829,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compare.add_argument(
         "--name", default="all",
-        help='comma-separated workload names, or "all" (fig02, fig18, soak)',
+        help='comma-separated workload names, or "all" '
+        "(fig02, fig18, site, soak)",
     )
     p_compare.add_argument(
         "--scale", choices=("smoke", "paper"), default="smoke"
@@ -736,6 +864,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "rospec": cmd_rospec,
     "bench": cmd_bench,
     "bench-compare": cmd_bench_compare,
+    "site": cmd_site,
     "soak": cmd_soak,
 }
 

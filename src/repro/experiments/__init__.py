@@ -17,6 +17,7 @@ from repro.experiments import (
     fig15_feasibility,
     fig17_cost,
     fig18_gain,
+    fig_redundancy,
     latency,
     parallel,
     report,
@@ -34,6 +35,7 @@ __all__ = [
     "fig15_feasibility",
     "fig17_cost",
     "fig18_gain",
+    "fig_redundancy",
     "latency",
     "parallel",
     "report",

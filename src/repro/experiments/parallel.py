@@ -23,6 +23,16 @@ Three rules keep the fan-out deterministic:
    carries the whole parallel run and the existing exporters need no
    changes.
 
+Merged-trace determinism has been audited end to end (and is pinned by
+``tests/experiments/test_parallel.py::TestTraceMergeDeterminism`` across
+``workers`` 1/2/4): results come back via ``pool.map``, which preserves
+submission order regardless of completion order or worker count; record
+``args`` dicts are insertion-ordered at the instrumentation site, ride
+through pickle unchanged, and every exporter serialises mappings with
+sorted keys; and :meth:`Tracer.absorb` remaps ids past the ambient counter
+and re-anchors batch roots under the currently open span, so ids, parent
+links and depths match the sequential run byte for byte.
+
 Worker processes re-import the task function by qualified name, so tasks
 must be module-level functions and their arguments picklable.
 """

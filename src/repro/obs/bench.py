@@ -141,9 +141,32 @@ def _soak_workload(scale: str) -> Dict[str, object]:
     }
 
 
+def _site_workload(scale: str) -> Dict[str, object]:
+    """The multi-reader redundancy sweep (sharded site simulation)."""
+    from repro.experiments import fig_redundancy
+
+    if scale == "smoke":
+        result = fig_redundancy.run()
+    else:
+        result = fig_redundancy.run(
+            overlaps=(1, 2, 4, 8), n_tags=480, duration_s=1.0
+        )
+    worst = result.points[0]
+    best = result.points[-1]
+    return {
+        "overlaps": [p.n_readers for p in result.points],
+        "missed_rate_single": round(worst.missed_rate, 6),
+        "missed_rate_full": round(best.missed_rate, 6),
+        "per_reader_irr_hz_full": round(best.per_reader_irr_hz, 3),
+        "monotone_reliability": result.monotone_reliability,
+        "monotone_throughput_cost": result.monotone_throughput_cost,
+    }
+
+
 WORKLOADS: Dict[str, Callable[[str], Dict[str, object]]] = {
     "fig02": _fig02_workload,
     "fig18": _fig18_workload,
+    "site": _site_workload,
     "soak": _soak_workload,
 }
 

@@ -211,24 +211,33 @@ class Tracer:
 
         Ids are remapped past this tracer's counter so span/event ids stay
         unique after the merge; parent links inside the absorbed batch are
-        preserved, and batch roots (parent 0) stay roots.  The records are
+        preserved.  Batch roots (parent 0) are re-anchored under the span
+        currently open on *this* tracer, if any — exactly where the same
+        records would have landed had the tasks run inline — and span
+        depths shift by the open-stack depth to match.  The records are
         appended in their given order, so a parallel run that absorbs each
-        task's batch in task order yields the same record sequence as the
-        equivalent sequential run.
+        task's batch in task order yields the same record sequence — same
+        ids, parents and depths — as the equivalent sequential run, at any
+        worker count.
         """
         if not records:
             return
         offset = self._next_id - 1
+        anchor_id = self._stack[-1].span_id if self._stack else 0
+        base_depth = len(self._stack)
         max_id = 0
         for record in records:
             if isinstance(record, Span):
                 record.span_id += offset
+                record.depth += base_depth
                 max_id = max(max_id, record.span_id)
             else:
                 record.event_id += offset
                 max_id = max(max_id, record.event_id)
             if record.parent_id:
                 record.parent_id += offset
+            else:
+                record.parent_id = anchor_id
             self.records.append(record)
         self._next_id = max_id + 1
 

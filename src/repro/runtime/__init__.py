@@ -21,7 +21,11 @@ from repro.runtime.checkpoint import (
     CheckpointUnavailable,
     config_fingerprint,
 )
-from repro.runtime.invariants import InvariantSuite, Violation
+from repro.runtime.invariants import (
+    InvariantSuite,
+    SiteInvariantSuite,
+    Violation,
+)
 from repro.runtime.supervisor import (
     EscalationLevel,
     SupervisedCycle,
@@ -35,6 +39,7 @@ __all__ = [
     "CheckpointUnavailable",
     "EscalationLevel",
     "InvariantSuite",
+    "SiteInvariantSuite",
     "SupervisedCycle",
     "Supervisor",
     "SupervisorConfig",

@@ -18,12 +18,19 @@ recovery machinery never trades correctness for liveness:
   to a healthy cycle within ``max_consecutive_unhealthy`` cycles; a
   supervisor stuck bouncing between restarts forever is a liveness bug
   even if every individual cycle "handled" its error.
+
+Multi-reader sites get their own checker, :class:`SiteInvariantSuite`,
+holding the fusion layer to the properties that make cross-reader dedup
+trustworthy: no phantom EPCs across readers, idempotent fusion, and
+internally consistent provenance / staleness-arbitration bookkeeping (a
+dedup bug here would silently inflate site-level IRR, which is why the
+site experiments run this suite after every simulated interval).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set
+from typing import Dict, Iterable, List, Set
 
 from repro.core.tagwatch import Tagwatch
 from repro.runtime.supervisor import SupervisedCycle
@@ -213,6 +220,121 @@ class InvariantSuite:
             + self._check_registry_unique(cycle_index, tagwatch)
             + self._check_staleness(cycle_index, supervised)
             + self._check_convergence(cycle_index, supervised)
+        )
+        self.violations.extend(new)
+        return new
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class SiteInvariantSuite:
+    """Correctness checks for cross-reader fusion at a multi-reader site.
+
+    Run against a :class:`~repro.site.fusion.FusionLayer` after each
+    simulated interval (the ``site`` CLI command and the site-smoke CI job
+    both do).  Checks, per interval:
+
+    - **no phantom EPCs across readers** — every fused identity exists in
+      the site's ground-truth population (a corrupt report or a bad merge
+      would surface here first);
+    - **fusion idempotence** — re-fusing everything the layer already
+      holds is a byte-level no-op on its snapshot (at-least-once delivery
+      upstream must not inflate site-level counts);
+    - **provenance consistency** — each record's report total equals the
+      sum of its per-reader tallies, with at least one contributing
+      reader;
+    - **staleness arbitration** — the authoritative latest sighting of
+      each record carries exactly the record's ``last_seen_s`` and matches
+      that reader's own last-seen bookkeeping.
+    """
+
+    def __init__(self, true_epc_values: Iterable[int]) -> None:
+        self.true_epc_values = set(true_epc_values)
+        if not self.true_epc_values:
+            raise ValueError("a site holds at least one true EPC")
+        self.violations: List[Violation] = []
+
+    # ------------------------------------------------------------------
+    def _check_site_phantoms(self, cycle_index: int, fusion) -> List[Violation]:
+        return [
+            Violation(
+                cycle_index,
+                "phantom-epc-fused",
+                f"fusion holds EPC {value:x} which no site tag carries",
+            )
+            for value in sorted(
+                set(fusion.epc_values()) - self.true_epc_values
+            )
+        ]
+
+    def _check_idempotence(self, cycle_index: int, fusion) -> List[Violation]:
+        before = fusion.snapshot()
+        replayed = fusion.copy()
+        absorbed = replayed.merge(fusion)
+        if absorbed == 0 and replayed.snapshot() == before:
+            return []
+        return [
+            Violation(
+                cycle_index,
+                "fusion-not-idempotent",
+                f"re-merging the fused set absorbed {absorbed} report(s) "
+                "or changed the snapshot",
+            )
+        ]
+
+    def _check_provenance(self, cycle_index: int, fusion) -> List[Violation]:
+        out = []
+        for record in fusion.records():
+            total = sum(record.reports_by_reader.values())
+            if not record.reports_by_reader or total != record.n_reports:
+                out.append(
+                    Violation(
+                        cycle_index,
+                        "provenance-mismatch",
+                        f"EPC {record.epc_value:x}: {record.n_reports} "
+                        f"report(s) vs per-reader sum {total}",
+                    )
+                )
+        return out
+
+    def _check_arbitration(self, cycle_index: int, fusion) -> List[Violation]:
+        out = []
+        for record in fusion.records():
+            latest = record.latest
+            if latest is None:
+                out.append(
+                    Violation(
+                        cycle_index,
+                        "stale-arbitration",
+                        f"EPC {record.epc_value:x} has no latest sighting",
+                    )
+                )
+                continue
+            t = round(latest.time_s, 9)
+            per_reader = record.last_seen_by_reader.get(latest.reader_id)
+            if t != round(record.last_seen_s, 9) or per_reader != t:
+                out.append(
+                    Violation(
+                        cycle_index,
+                        "stale-arbitration",
+                        f"EPC {record.epc_value:x}: latest sighting at "
+                        f"{t} disagrees with last_seen_s="
+                        f"{record.last_seen_s} / reader {latest.reader_id} "
+                        f"last seen {per_reader}",
+                    )
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    def check(self, fusion, cycle_index: int = 0) -> List[Violation]:
+        """Check every site invariant; returns (and accumulates) breaches."""
+        new = (
+            self._check_site_phantoms(cycle_index, fusion)
+            + self._check_idempotence(cycle_index, fusion)
+            + self._check_provenance(cycle_index, fusion)
+            + self._check_arbitration(cycle_index, fusion)
         )
         self.violations.extend(new)
         return new

@@ -1,0 +1,48 @@
+"""Multi-reader warehouse sites: topology, channel planning, fusion, sharding.
+
+A *site* is the warehouse-scale counterpart of the paper's single-reader
+testbed: N COTS readers with overlapping coverage zones over one shared tag
+field.  The package splits the problem into four deterministic layers:
+
+- :mod:`repro.site.topology` — where the readers stand and where the tags
+  are (declarative, picklable, seeded nowhere);
+- :mod:`repro.site.channels` — the channel-plan coordinator: which channel
+  offset each reader hops on, and how much co-channel / adjacent-channel
+  RF interference from its neighbours degrades its slot success;
+- :mod:`repro.site.fusion` — the fusion layer: dedups and merges tag
+  reports across readers with per-EPC provenance and deterministic
+  staleness arbitration;
+- :mod:`repro.site.site` — the :class:`Site` itself, which binds one
+  :class:`~repro.reader.SimReader` per placement and shards the simulation
+  across the deterministic process pool
+  (:func:`repro.experiments.parallel.parallel_map`), one worker per reader
+  group, with byte-stable results at every worker count.
+
+See ``docs/site.md`` for the topology format, the interference model, the
+fusion semantics, and the sharding guarantees.
+"""
+
+from repro.site.channels import ChannelCoordinator
+from repro.site.fusion import FusedRecord, FusionLayer, TagReport
+from repro.site.site import Site, SiteConfig, SiteRun, simulate_site
+from repro.site.topology import (
+    ReaderPlacement,
+    SiteTopology,
+    line_site,
+    ring_site,
+)
+
+__all__ = [
+    "ChannelCoordinator",
+    "FusedRecord",
+    "FusionLayer",
+    "TagReport",
+    "ReaderPlacement",
+    "SiteTopology",
+    "line_site",
+    "ring_site",
+    "Site",
+    "SiteConfig",
+    "SiteRun",
+    "simulate_site",
+]

@@ -1,0 +1,268 @@
+"""Cross-reader fusion: dedup/merge tag reports with provenance.
+
+Every reader at a site independently reports ``(EPC, time, antenna,
+channel, phase, RSS)`` tuples.  The fusion layer turns those streams into
+one site-level inventory while preserving three things the single-reader
+pipeline never had to care about:
+
+- **identity dedup** — the same physical read must not be counted twice,
+  however many times its report batch is replayed or merged (at-least-once
+  transport upstream, exactly-once accounting here);
+- **provenance** — each fused record remembers which readers saw the tag,
+  how often, and when last — the raw material for coverage analysis and
+  for the redundancy experiment's missed-tag accounting;
+- **staleness arbitration** — "where/when was this tag last seen" must be
+  a *deterministic* choice even when two readers report in the same
+  microsecond: reports are totally ordered by ``(time, reader, antenna,
+  channel, phase, rss)`` and the maximum wins.
+
+The merge is a commutative, idempotent monoid fold over report *sets*:
+``merge`` of any permutation of any duplication of the same reports yields
+a byte-identical :meth:`FusionLayer.snapshot`.  The property tests in
+``tests/site/test_fusion_properties.py`` hold it to that contract, and the
+sharded site runner relies on it to fuse worker outputs in any grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.radio.measurement import TagObservation
+
+#: Report timestamps are rounded to this many decimals when forming the
+#: dedup key, matching the precision of every serialised trace in the repo.
+TIME_PRECISION = 9
+
+ReportKey = Tuple[int, int, float, int, int, float, float]
+
+
+@dataclass(frozen=True)
+class TagReport:
+    """One tag read as reported by one reader of the site."""
+
+    epc_value: int
+    reader_id: int
+    time_s: float
+    antenna_index: int
+    channel_index: int
+    phase_rad: float
+    rss_dbm: float
+
+    @property
+    def key(self) -> ReportKey:
+        """Identity of the underlying physical read (dedup key).
+
+        The *full* rounded payload is part of the identity: replays of the
+        same report are exact duplicates and fuse away, while two reports
+        that differ in any field are distinct reads and both survive —
+        which is what makes fusion a pure set union, commutative and
+        idempotent by construction rather than by tie-breaking.
+        """
+        return (
+            self.epc_value,
+            self.reader_id,
+            round(self.time_s, TIME_PRECISION),
+            self.antenna_index,
+            self.channel_index,
+            round(self.phase_rad, TIME_PRECISION),
+            round(self.rss_dbm, TIME_PRECISION),
+        )
+
+    @property
+    def arbitration_order(self) -> Tuple[float, int, int, int, float, float]:
+        """Total order used to pick the authoritative latest sighting.
+
+        Total over *distinct* reports (the payload fields break any tie in
+        time/reader/antenna/channel), so the arbitration winner never
+        depends on ingest order.
+        """
+        return (
+            round(self.time_s, TIME_PRECISION),
+            self.reader_id,
+            self.antenna_index,
+            self.channel_index,
+            round(self.phase_rad, TIME_PRECISION),
+            round(self.rss_dbm, TIME_PRECISION),
+        )
+
+    @classmethod
+    def from_observation(
+        cls, observation: TagObservation, reader_id: int
+    ) -> "TagReport":
+        return cls(
+            epc_value=observation.epc.value,
+            reader_id=reader_id,
+            time_s=observation.time_s,
+            antenna_index=observation.antenna_index,
+            channel_index=observation.channel_index,
+            phase_rad=observation.phase_rad,
+            rss_dbm=observation.rss_dbm,
+        )
+
+    def to_row(self) -> List[object]:
+        """Primitive row for pickling across workers / canonical JSON."""
+        return [
+            format(self.epc_value, "x"),
+            self.reader_id,
+            round(self.time_s, TIME_PRECISION),
+            self.antenna_index,
+            self.channel_index,
+            round(self.phase_rad, TIME_PRECISION),
+            round(self.rss_dbm, TIME_PRECISION),
+        ]
+
+    @classmethod
+    def from_row(cls, row: List[object]) -> "TagReport":
+        return cls(
+            epc_value=int(row[0], 16),
+            reader_id=int(row[1]),
+            time_s=float(row[2]),
+            antenna_index=int(row[3]),
+            channel_index=int(row[4]),
+            phase_rad=float(row[5]),
+            rss_dbm=float(row[6]),
+        )
+
+
+@dataclass
+class FusedRecord:
+    """Site-level state of one EPC, merged across every reader."""
+
+    epc_value: int
+    first_seen_s: float
+    last_seen_s: float
+    n_reports: int = 0
+    #: reader id -> number of distinct reads contributed.
+    reports_by_reader: Dict[int, int] = field(default_factory=dict)
+    #: reader id -> simulated time of its newest read.
+    last_seen_by_reader: Dict[int, float] = field(default_factory=dict)
+    #: The authoritative latest sighting under the arbitration order.
+    latest: Optional[TagReport] = None
+
+    @property
+    def reader_ids(self) -> List[int]:
+        """Every reader that saw this tag, ascending."""
+        return sorted(self.reports_by_reader)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON shape (sorted keys, rounded floats)."""
+        assert self.latest is not None
+        return {
+            "epc": format(self.epc_value, "x"),
+            "first_seen_s": round(self.first_seen_s, TIME_PRECISION),
+            "last_seen_s": round(self.last_seen_s, TIME_PRECISION),
+            "n_reports": self.n_reports,
+            "reports_by_reader": {
+                str(reader): self.reports_by_reader[reader]
+                for reader in sorted(self.reports_by_reader)
+            },
+            "last_seen_by_reader": {
+                str(reader): round(
+                    self.last_seen_by_reader[reader], TIME_PRECISION
+                )
+                for reader in sorted(self.last_seen_by_reader)
+            },
+            "latest": self.latest.to_row(),
+        }
+
+
+class FusionLayer:
+    """Merge tag reports from any number of readers into one inventory.
+
+    Reports are absorbed with :meth:`ingest` / :meth:`ingest_many`, whole
+    layers with :meth:`merge`.  All three are order-insensitive and
+    replay-safe; see the module docstring for the exact contract.
+    """
+
+    def __init__(self) -> None:
+        self._reports: Dict[ReportKey, TagReport] = {}
+        self._records: Dict[int, FusedRecord] = {}
+
+    # ------------------------------------------------------------------
+    def ingest(self, report: TagReport) -> bool:
+        """Absorb one report; returns False when it was already fused."""
+        key = report.key
+        if key in self._reports:
+            return False
+        self._reports[key] = report
+        t = round(report.time_s, TIME_PRECISION)
+        record = self._records.get(report.epc_value)
+        if record is None:
+            record = FusedRecord(
+                epc_value=report.epc_value, first_seen_s=t, last_seen_s=t
+            )
+            self._records[report.epc_value] = record
+        record.first_seen_s = min(record.first_seen_s, t)
+        record.last_seen_s = max(record.last_seen_s, t)
+        record.n_reports += 1
+        record.reports_by_reader[report.reader_id] = (
+            record.reports_by_reader.get(report.reader_id, 0) + 1
+        )
+        previous = record.last_seen_by_reader.get(report.reader_id)
+        if previous is None or t > previous:
+            record.last_seen_by_reader[report.reader_id] = t
+        if (
+            record.latest is None
+            or report.arbitration_order > record.latest.arbitration_order
+        ):
+            record.latest = report
+        return True
+
+    def ingest_many(self, reports: Iterable[TagReport]) -> int:
+        """Absorb a batch; returns how many were new."""
+        return sum(1 for report in reports if self.ingest(report))
+
+    def merge(self, other: "FusionLayer") -> int:
+        """Fold another layer's reports into this one; returns new count."""
+        return self.ingest_many(other.reports())
+
+    # ------------------------------------------------------------------
+    def reports(self) -> List[TagReport]:
+        """Every distinct fused report, in arbitration order."""
+        return sorted(
+            self._reports.values(),
+            key=lambda r: (r.epc_value,) + r.arbitration_order,
+        )
+
+    def records(self) -> List[FusedRecord]:
+        """Per-EPC fused records, ascending by EPC value."""
+        return [self._records[value] for value in sorted(self._records)]
+
+    def record(self, epc_value: int) -> FusedRecord:
+        """The fused record of one EPC; raises ``KeyError`` if unseen."""
+        return self._records[epc_value]
+
+    def epc_values(self) -> List[int]:
+        """Every EPC the site has seen, ascending."""
+        return sorted(self._records)
+
+    @property
+    def n_reports(self) -> int:
+        """Distinct physical reads fused so far."""
+        return len(self._reports)
+
+    def reports_by_reader(self) -> Dict[int, int]:
+        """Distinct reads contributed per reader id."""
+        out: Dict[int, int] = {}
+        for report in self._reports.values():
+            out[report.reader_id] = out.get(report.reader_id, 0) + 1
+        return {reader: out[reader] for reader in sorted(out)}
+
+    def snapshot(self) -> Dict[str, object]:
+        """Canonical, byte-stable summary of the fused inventory."""
+        return {
+            "n_epcs": len(self._records),
+            "n_reports": self.n_reports,
+            "reports_by_reader": {
+                str(reader): count
+                for reader, count in self.reports_by_reader().items()
+            },
+            "records": [record.to_dict() for record in self.records()],
+        }
+
+    def copy(self) -> "FusionLayer":
+        """An independent layer holding the same fused reports."""
+        duplicate = FusionLayer()
+        duplicate.ingest_many(self._reports.values())
+        return duplicate

@@ -1,0 +1,334 @@
+"""The Site: N SimReaders over one tag field, sharded across the pool.
+
+One :class:`Site` hosts one :class:`~repro.reader.SimReader` per
+:class:`~repro.site.topology.ReaderPlacement`.  Every reader gets its own
+:class:`~repro.world.scene.Scene` view of the *same* tag population (same
+EPCs, same positions, same modulation phase offsets — all derived from the
+site seed alone), its own antenna, its own rotated channel plan from the
+coordinator, and its own independent RNG streams.  Cross-reader coupling —
+co-channel and adjacent-channel interference — is folded in as a static
+per-reader read-loss penalty computed by the
+:class:`~repro.site.channels.ChannelCoordinator` before any reader runs,
+so each reader's simulation is a pure function of ``(config, reader_id)``.
+
+That purity is what makes sharding trivial *and* provable:
+:func:`simulate_site` hands one task per reader to
+:func:`repro.experiments.parallel.parallel_map` (one worker per reader
+group), merges the report batches through the
+:class:`~repro.site.fusion.FusionLayer` (a commutative, idempotent fold)
+in reader order, and absorbs worker traces in the same order — so
+``workers=N`` is byte-identical to ``workers=1`` for every N.  The
+differential tests in ``tests/site/test_differential.py`` pin exactly
+that, over several topologies and hypothesis-drawn seeds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.parallel import parallel_map
+from repro.gen2.epc import EPC, random_epc_population
+from repro.obs.tracer import get_tracer
+from repro.reader.reader import SimReader
+from repro.site.channels import ChannelCoordinator
+from repro.site.fusion import FusionLayer, TagReport
+from repro.site.topology import SiteTopology
+from repro.util.rng import RngStream
+from repro.world.motion import Stationary
+from repro.world.scene import Antenna, Scene, TagInstance
+
+__all__ = ["SiteConfig", "SiteRun", "Site", "simulate_site"]
+
+
+@dataclass(frozen=True)
+class SiteConfig:
+    """Everything a worker needs to rebuild one reader of the site.
+
+    The config is pure data (picklable, ``to_dict``/``from_dict``
+    round-trippable), and every random draw any reader performs is keyed on
+    ``seed`` plus a stable component name — rule 1 of the deterministic
+    fan-out contract in :mod:`repro.experiments.parallel`.
+    """
+
+    topology: SiteTopology
+    seed: int = 0
+    duration_s: float = 1.0
+    #: Per-read CRC-loss probability every reader suffers even alone
+    #: (cable loss, ambient noise) — the redundancy experiments' miss knob.
+    base_read_loss: float = 0.0
+    coordinator: ChannelCoordinator = field(default_factory=ChannelCoordinator)
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("site duration must be positive")
+        if not 0.0 <= self.base_read_loss < 1.0:
+            raise ValueError("base read loss must be a probability")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Primitive dict form — what crosses the process boundary."""
+        return {
+            "topology": self.topology.to_dict(),
+            "seed": self.seed,
+            "duration_s": round(self.duration_s, 9),
+            "base_read_loss": round(self.base_read_loss, 9),
+            "coordinator": self.coordinator.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SiteConfig":
+        return cls(
+            topology=SiteTopology.from_dict(data["topology"]),
+            seed=int(data["seed"]),
+            duration_s=float(data["duration_s"]),
+            base_read_loss=float(data["base_read_loss"]),
+            coordinator=ChannelCoordinator.from_dict(data["coordinator"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Deterministic construction (shared by every worker)
+# ----------------------------------------------------------------------
+def site_epcs(config: SiteConfig) -> List[EPC]:
+    """The site's tag identities — a pure function of the site seed."""
+    return random_epc_population(
+        config.topology.n_tags,
+        rng=RngStream(config.seed).child("site-epcs"),
+    )
+
+
+def site_tags(config: SiteConfig) -> List[TagInstance]:
+    """The shared tag field every reader's scene views.
+
+    EPCs, grid positions and modulation phase offsets depend only on the
+    site seed and topology, so all workers rebuild bit-identical tags.
+    """
+    epcs = site_epcs(config)
+    placement_rng = RngStream(config.seed).child("site-placement")
+    tags = []
+    for epc, position in zip(epcs, config.topology.tag_positions()):
+        tags.append(
+            TagInstance(
+                epc=epc,
+                trajectory=Stationary(np.asarray(position, dtype=float)),
+                phase_offset_rad=float(
+                    placement_rng.uniform(0.0, 2.0 * np.pi)
+                ),
+            )
+        )
+    return tags
+
+
+def build_reader(config: SiteConfig, reader_id: int) -> SimReader:
+    """One reader's fully seeded view of the site.
+
+    Pure against ``(config, reader_id)``: seeds are derived per reader by
+    name, the channel offset and interference penalty come from the
+    coordinator's static plan, and the shared tag field is rebuilt from the
+    site seed.  Two calls — in any two processes — return readers that
+    will produce byte-identical observation streams.
+    """
+    placement = config.topology.reader(reader_id)
+    streams = RngStream(config.seed)
+    coordinator = config.coordinator
+    offset = coordinator.assign(config.topology)[reader_id]
+    interference = coordinator.interference_loss(config.topology)[reader_id]
+    scene = Scene(
+        antennas=[
+            Antenna(
+                np.asarray(placement.position, dtype=float),
+                range_m=placement.range_m,
+                name=f"reader-{reader_id}",
+            )
+        ],
+        tags=site_tags(config),
+        channel_plan=coordinator.reader_plan(offset),
+        seed=streams.child_seed(f"site-scene-{reader_id}"),
+    )
+    loss = min(config.base_read_loss + interference, 0.95)
+    return SimReader(
+        scene,
+        seed=streams.child_seed(f"site-reader-{reader_id}"),
+        read_loss_probability=loss,
+    )
+
+
+# ----------------------------------------------------------------------
+# The sharded run
+# ----------------------------------------------------------------------
+def _simulate_reader(config_dict: Dict[str, object], reader_id: int) -> dict:
+    """Worker task: run one reader for the site duration.
+
+    Module-level and pure against its (picklable) arguments, per the
+    :func:`parallel_map` contract.  Returns primitives only.
+    """
+    config = SiteConfig.from_dict(config_dict)
+    reader = build_reader(config, reader_id)
+    tracer = get_tracer()
+    span = None
+    if tracer.enabled:
+        span = tracer.begin(
+            "site_reader",
+            t=reader.time_s,
+            category="site",
+            reader=reader_id,
+            read_loss=round(reader.engine.read_loss_probability, 9),
+        )
+    observations, log = reader.run_duration(config.duration_s)
+    if span is not None:
+        tracer.end(
+            span,
+            t=reader.time_s,
+            n_reports=len(observations),
+            n_rounds=log.n_rounds,
+        )
+    return {
+        "reader_id": reader_id,
+        "reports": [
+            TagReport.from_observation(obs, reader_id).to_row()
+            for obs in observations
+        ],
+        "n_rounds": log.n_rounds,
+        "n_slots": log.n_slots,
+        "n_lost": log.n_lost,
+        "duration_s": round(log.duration_s, 9),
+        "read_loss_probability": round(
+            reader.engine.read_loss_probability, 9
+        ),
+    }
+
+
+@dataclass
+class SiteRun:
+    """One simulated site interval: per-reader summaries plus the fusion."""
+
+    config: SiteConfig
+    reader_summaries: List[dict]
+    fusion: FusionLayer
+    truth_epc_values: List[int]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_readers(self) -> int:
+        return len(self.reader_summaries)
+
+    def missed_epc_values(self) -> List[int]:
+        """Tags no reader reported during the interval, ascending."""
+        seen = set(self.fusion.epc_values())
+        return [value for value in self.truth_epc_values if value not in seen]
+
+    @property
+    def missed_rate(self) -> float:
+        """Fraction of the true population never reported by any reader."""
+        return len(self.missed_epc_values()) / len(self.truth_epc_values)
+
+    @property
+    def aggregate_reports(self) -> int:
+        """Distinct reads fused across every reader."""
+        return self.fusion.n_reports
+
+    def reports_per_reader(self) -> Dict[int, int]:
+        """Distinct reads each reader contributed (0 for silent readers)."""
+        counts = self.fusion.reports_by_reader()
+        return {
+            summary["reader_id"]: counts.get(summary["reader_id"], 0)
+            for summary in self.reader_summaries
+        }
+
+    @property
+    def mean_reader_reports(self) -> float:
+        """Mean distinct reads per reader — the per-reader throughput."""
+        per_reader = self.reports_per_reader()
+        return sum(per_reader.values()) / len(per_reader)
+
+    # ------------------------------------------------------------------
+    def canonical(self) -> Dict[str, object]:
+        """Canonical JSON payload: the byte-equality surface.
+
+        Two runs of the same config — at any worker counts — must
+        serialise this identically; the differential tests compare the
+        rendered bytes.
+        """
+        return {
+            "config": self.config.to_dict(),
+            "readers": self.reader_summaries,
+            "fusion": self.fusion.snapshot(),
+            "missed": [format(v, "x") for v in self.missed_epc_values()],
+        }
+
+    def canonical_bytes(self) -> bytes:
+        """:meth:`canonical` rendered to the exact comparison bytes."""
+        return (
+            json.dumps(self.canonical(), indent=2, sort_keys=True) + "\n"
+        ).encode("utf-8")
+
+
+def simulate_site(
+    config: SiteConfig, workers: Optional[int] = None
+) -> SiteRun:
+    """Simulate every reader of the site; fuse reports in reader order.
+
+    ``workers`` has the :func:`parallel_map` semantics (``None``/``0``/``1``
+    sequential — the behavioural reference; ``-1`` one per core).  One task
+    per reader fans out, which both saturates the pool for big sites and
+    keeps each worker's RNG state private to one reader.
+    """
+    config_dict = config.to_dict()
+    tasks: List[Tuple[Dict[str, object], int]] = [
+        (config_dict, placement.reader_id)
+        for placement in config.topology.readers
+    ]
+    summaries = parallel_map(_simulate_reader, tasks, workers=workers)
+    fusion = FusionLayer()
+    for summary in summaries:
+        fusion.ingest_many(
+            TagReport.from_row(row) for row in summary["reports"]
+        )
+    return SiteRun(
+        config=config,
+        reader_summaries=summaries,
+        fusion=fusion,
+        truth_epc_values=sorted(epc.value for epc in site_epcs(config)),
+    )
+
+
+class Site:
+    """A multi-reader deployment bound to one shared tag field.
+
+    Thin object face over the functional core: owns the config, lends out
+    per-reader :class:`SimReader` views for inspection, and runs the
+    sharded simulation.
+    """
+
+    def __init__(self, config: SiteConfig) -> None:
+        self.config = config
+
+    @property
+    def topology(self) -> SiteTopology:
+        return self.config.topology
+
+    @property
+    def n_readers(self) -> int:
+        return self.topology.n_readers
+
+    def reader(self, reader_id: int) -> SimReader:
+        """A freshly built (deterministic) reader for one placement."""
+        return build_reader(self.config, reader_id)
+
+    def readers(self) -> List[SimReader]:
+        """Fresh readers for every placement, in topology order."""
+        return [
+            build_reader(self.config, placement.reader_id)
+            for placement in self.topology.readers
+        ]
+
+    def epc_values(self) -> List[int]:
+        """Ground-truth tag identities, ascending."""
+        return sorted(epc.value for epc in site_epcs(self.config))
+
+    def simulate(self, workers: Optional[int] = None) -> SiteRun:
+        """Run the whole site for ``config.duration_s``; see module doc."""
+        return simulate_site(self.config, workers=workers)

@@ -1,7 +1,7 @@
 """Tracking application substrate: hologram localisation + accuracy metrics."""
 
 from repro.tracking.dah import DahConfig, DifferentialTracker
-from repro.tracking.fleet import FleetTracker, TrackedTag
+from repro.tracking.fleet import FleetTracker, SiteFleetTracker, TrackedTag
 from repro.tracking.hologram import (
     HologramLocalizer,
     PositionEstimate,
@@ -15,6 +15,7 @@ __all__ = [
     "FleetTracker",
     "HologramLocalizer",
     "PositionEstimate",
+    "SiteFleetTracker",
     "TrackAccuracy",
     "TrackedTag",
     "TrackingConfig",

@@ -1,0 +1,85 @@
+"""The redundancy experiment: qualitative tradeoff + golden regression.
+
+Acceptance shape from the multi-session paper: going 1 -> 2 -> 4
+overlapping readers, the missed-tag rate strictly falls (independent
+sessions multiply miss probabilities) while per-reader throughput strictly
+falls (each neighbour is an RF aggressor) — and the whole result is
+bit-identical between sequential and sharded execution.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import fig_redundancy
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+SMOKE = dict(overlaps=(1, 2, 4), n_tags=60, duration_s=0.12, seed=7)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig_redundancy.run()
+
+
+class TestTradeoff:
+    def test_missed_rate_strictly_decreasing(self, result):
+        assert result.monotone_reliability
+        missed = [p.missed_rate for p in result.points]
+        assert all(b < a for a, b in zip(missed, missed[1:]))
+
+    def test_per_reader_throughput_strictly_decreasing(self, result):
+        assert result.monotone_throughput_cost
+
+    def test_aggregate_throughput_still_grows(self, result):
+        # Redundancy costs each reader, but the site still reads more.
+        rates = [p.aggregate_irr_hz for p in result.points]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_interference_grows_with_density(self, result):
+        losses = [p.extra_read_loss for p in result.points]
+        assert losses[0] == 0.0
+        assert all(b > a for a, b in zip(losses, losses[1:]))
+
+    def test_point_lookup(self, result):
+        assert result.point(2).n_readers == 2
+        with pytest.raises(KeyError):
+            result.point(99)
+
+    def test_report_renders(self, result):
+        text = fig_redundancy.format_report(result)
+        assert "Redundancy vs throughput" in text
+        assert "reads/s per reader" in text
+
+
+def test_sharded_run_identical_to_sequential():
+    sequential = fig_redundancy.run(workers=1, **SMOKE)
+    sharded = fig_redundancy.run(workers=4, **SMOKE)
+    assert sequential.to_dict() == sharded.to_dict()
+
+
+def test_golden_redundancy(update_golden):
+    """The full default sweep replays byte-identically (sharded).
+
+    Regenerate after an intentional behaviour change with::
+
+        PYTHONPATH=src python -m pytest \
+            tests/experiments/test_fig_redundancy.py --update-golden
+    """
+    payload = fig_redundancy.run(workers=2).to_dict()
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path = GOLDEN_DIR / "fig_redundancy.json"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        return
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path} missing; generate it with --update-golden"
+        )
+    assert path.read_text() == text, (
+        "fig_redundancy diverged from golden file; if the change is "
+        "intentional, regenerate with --update-golden"
+    )

@@ -14,7 +14,8 @@ from repro.experiments.parallel import (
     resolve_workers,
     spawn_seeds,
 )
-from repro.obs.tracer import Span, Tracer, use_tracer
+from repro.obs.exporters import to_jsonl
+from repro.obs.tracer import Span, Tracer, get_tracer, use_tracer
 
 
 class TestResolveWorkers:
@@ -145,3 +146,75 @@ class TestTracerAbsorb:
         tracer = Tracer()
         tracer.absorb([])
         assert tracer.records == []
+
+    def test_batch_roots_reanchor_under_open_span(self):
+        """Absorbed roots attach to the currently open span, depth-shifted.
+
+        This is the regression the audit found: a driver that calls
+        ``parallel_map`` *inside* one of its own spans used to get absorbed
+        task spans parented to 0 at depth 0, while the sequential run
+        nested them — so merged traces diverged between worker counts.
+        """
+        parent = Tracer()
+        enclosing = parent.begin("sweep", t=0.0)
+
+        worker = Tracer()
+        inner = worker.begin("task", t=0.0)
+        worker.event("tick", t=0.5)
+        worker.end(inner, t=1.0)
+
+        parent.absorb(worker.records)
+        parent.end(enclosing, t=2.0)
+
+        task = next(r for r in parent.records if r.name == "task")
+        assert task.parent_id == enclosing.span_id
+        assert task.depth == 1
+        tick = next(r for r in parent.records if r.name == "tick")
+        assert tick.parent_id == task.span_id
+
+
+def _traced_burst(seed):
+    """A task that opens a small span tree on the ambient tracer."""
+    tracer = get_tracer()
+    outer = tracer.begin("burst", t=0.0, seed=seed)
+    inner = tracer.begin("draw", t=0.1)
+    value = int(np.random.default_rng(seed).integers(0, 1000))
+    tracer.event("value", t=0.2, value=value)
+    tracer.end(inner, t=0.3)
+    tracer.end(outer, t=0.4)
+    return value
+
+
+class TestTraceMergeDeterminism:
+    """The merged trace is byte-stable across worker counts.
+
+    Pins the full contract documented in :mod:`repro.experiments.parallel`:
+    same ids, parents, depths, and args whether tasks ran inline, in one
+    pool, or spread over several workers — both at top level and inside an
+    enclosing ambient span.
+    """
+
+    WORKER_COUNTS = (1, 2, 4)
+
+    def _run(self, workers, enclose):
+        tracer = Tracer()
+        tasks = [(s,) for s in spawn_seeds(23, 6)]
+        with use_tracer(tracer):
+            if enclose:
+                span = tracer.begin("driver", t=0.0)
+                results = parallel_map(_traced_burst, tasks, workers=workers)
+                tracer.end(span, t=9.0)
+            else:
+                results = parallel_map(_traced_burst, tasks, workers=workers)
+        return results, to_jsonl(tracer)
+
+    @pytest.mark.parametrize("enclose", [False, True], ids=["flat", "nested"])
+    def test_jsonl_byte_equal_across_worker_counts(self, enclose):
+        reference_results, reference_export = self._run(1, enclose)
+        for workers in self.WORKER_COUNTS[1:]:
+            results, export = self._run(workers, enclose)
+            assert results == reference_results
+            assert export == reference_export, (
+                f"merged trace diverged at workers={workers} "
+                f"(enclosing span: {enclose})"
+            )

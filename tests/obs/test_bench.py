@@ -27,7 +27,7 @@ def test_unknown_workload_and_scale_rejected():
 
 
 def test_workload_registry():
-    assert set(WORKLOADS) == {"fig02", "fig18", "soak"}
+    assert set(WORKLOADS) == {"fig02", "fig18", "site", "soak"}
 
 
 def test_fig02_budget_reduction(fig02_result):

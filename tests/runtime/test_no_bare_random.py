@@ -25,6 +25,19 @@ def python_sources():
     return files
 
 
+def test_scan_covers_the_site_package():
+    """The lint walks every package — repro.site must not escape it.
+
+    The site subsystem's whole sharding story rests on seeded determinism,
+    so this guards against the scan silently narrowing (e.g. to an explicit
+    package list) and letting unseeded randomness into new code.
+    """
+    scanned = {str(path.relative_to(SRC)) for path in python_sources()}
+    assert "repro/site/site.py" in scanned
+    assert "repro/site/fusion.py" in scanned
+    assert "repro/site/channels.py" in scanned
+
+
 def test_no_stdlib_random_imports():
     offenders = [
         str(path.relative_to(SRC))

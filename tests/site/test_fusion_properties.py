@@ -1,0 +1,110 @@
+"""Property tests: the fusion layer is a commutative, idempotent fold.
+
+The sharded site runner fuses worker outputs in whatever grouping the
+topology dictates; these properties are what make any grouping safe.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.site.fusion import FusionLayer, TagReport
+
+# Small domains force key collisions (same read reported twice) as well as
+# distinct reads of the same EPC — both regimes matter.
+reports = st.builds(
+    TagReport,
+    epc_value=st.integers(min_value=1, max_value=8),
+    reader_id=st.integers(min_value=0, max_value=3),
+    time_s=st.sampled_from([0.0, 0.125, 0.25, 0.5, 1.0]),
+    antenna_index=st.integers(min_value=0, max_value=1),
+    channel_index=st.integers(min_value=0, max_value=3),
+    phase_rad=st.floats(0.0, 6.25, allow_nan=False),
+    rss_dbm=st.floats(-80.0, -40.0, allow_nan=False),
+)
+
+report_batches = st.lists(reports, max_size=40)
+
+
+def _snapshot_bytes(layer):
+    return json.dumps(layer.snapshot(), sort_keys=True).encode()
+
+
+def _fused(batch):
+    layer = FusionLayer()
+    layer.ingest_many(batch)
+    return layer
+
+
+@settings(max_examples=80, deadline=None)
+@given(report_batches)
+def test_idempotent(batch):
+    """Replaying everything already fused changes nothing."""
+    layer = _fused(batch)
+    before = _snapshot_bytes(layer)
+    assert layer.ingest_many(batch) == 0
+    assert layer.merge(_fused(batch)) == 0
+    assert _snapshot_bytes(layer) == before
+
+
+@settings(max_examples=80, deadline=None)
+@given(report_batches, st.randoms(use_true_random=False))
+def test_commutative_across_ingest_order(batch, rng):
+    """Any permutation of the report stream fuses to identical bytes."""
+    shuffled = list(batch)
+    rng.shuffle(shuffled)
+    assert _snapshot_bytes(_fused(batch)) == _snapshot_bytes(_fused(shuffled))
+
+
+@settings(max_examples=60, deadline=None)
+@given(report_batches, report_batches)
+def test_merge_commutes_across_reader_grouping(a, b):
+    """merge(A, B) == merge(B, A) == ingest(A + B), byte for byte."""
+    ab = _fused(a)
+    ab.merge(_fused(b))
+    ba = _fused(b)
+    ba.merge(_fused(a))
+    flat = _fused(a + b)
+    assert _snapshot_bytes(ab) == _snapshot_bytes(ba) == _snapshot_bytes(flat)
+
+
+@settings(max_examples=80, deadline=None)
+@given(report_batches)
+def test_never_drops_a_report(batch):
+    """Every distinct physical read survives fusion, none invented."""
+    layer = _fused(batch)
+    expected = {report.key for report in batch}
+    assert {report.key for report in layer.reports()} == expected
+    assert layer.n_reports == len(expected)
+    assert set(layer.epc_values()) == {report.epc_value for report in batch}
+
+
+@settings(max_examples=80, deadline=None)
+@given(report_batches.filter(bool))
+def test_arbitration_picks_the_global_maximum(batch):
+    """Each record's latest sighting is the arbitration-order maximum."""
+    layer = _fused(batch)
+    for record in layer.records():
+        own = [r for r in batch if r.epc_value == record.epc_value]
+        best = max(own, key=lambda r: r.arbitration_order)
+        assert record.latest.arbitration_order == best.arbitration_order
+        assert record.last_seen_s == round(best.time_s, 9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(report_batches)
+def test_provenance_accounts_for_every_report(batch):
+    """Per-reader tallies partition the fused report set exactly."""
+    layer = _fused(batch)
+    total = sum(
+        sum(record.reports_by_reader.values()) for record in layer.records()
+    )
+    assert total == layer.n_reports
+    assert sum(layer.reports_by_reader().values()) == layer.n_reports
+
+
+@settings(max_examples=40, deadline=None)
+@given(reports)
+def test_report_row_round_trip(report):
+    """The picklable row form reproduces the dedup key exactly."""
+    assert TagReport.from_row(report.to_row()).key == report.key

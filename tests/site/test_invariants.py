@@ -1,0 +1,88 @@
+"""The site invariant suite: catches fusion bugs, passes healthy runs."""
+
+import pytest
+
+from repro.runtime.invariants import SiteInvariantSuite
+from repro.site.channels import ChannelCoordinator
+from repro.site.fusion import FusionLayer, TagReport
+from repro.site.site import SiteConfig, simulate_site
+from repro.site.topology import ring_site
+
+
+def _report(epc=1, reader=0, t=0.5, antenna=0, channel=0):
+    return TagReport(
+        epc_value=epc,
+        reader_id=reader,
+        time_s=t,
+        antenna_index=antenna,
+        channel_index=channel,
+        phase_rad=1.0,
+        rss_dbm=-55.0,
+    )
+
+
+def test_requires_a_population():
+    with pytest.raises(ValueError):
+        SiteInvariantSuite([])
+
+
+def test_clean_fusion_passes():
+    fusion = FusionLayer()
+    fusion.ingest_many(
+        [_report(1, 0, 0.1), _report(1, 1, 0.2), _report(2, 1, 0.3)]
+    )
+    suite = SiteInvariantSuite([1, 2, 3])
+    assert suite.check(fusion) == []
+    assert suite.ok
+
+
+def test_flags_phantom_epcs():
+    fusion = FusionLayer()
+    fusion.ingest(_report(epc=99))
+    suite = SiteInvariantSuite([1, 2])
+    names = [v.name for v in suite.check(fusion)]
+    assert "phantom-epc-fused" in names
+    assert not suite.ok
+
+
+def test_flags_provenance_mismatch():
+    fusion = FusionLayer()
+    fusion.ingest_many([_report(1, 0, 0.1), _report(1, 1, 0.2)])
+    record = fusion.record(1)
+    record.n_reports += 1  # corrupt the tally
+    suite = SiteInvariantSuite([1])
+    names = [v.name for v in suite.check(fusion)]
+    assert "provenance-mismatch" in names
+
+
+def test_flags_stale_arbitration():
+    fusion = FusionLayer()
+    fusion.ingest_many([_report(1, 0, 0.1), _report(1, 1, 0.2)])
+    fusion.record(1).latest = _report(1, 0, 0.1)  # stale winner
+    suite = SiteInvariantSuite([1])
+    names = [v.name for v in suite.check(fusion)]
+    assert "stale-arbitration" in names
+
+
+def test_violations_accumulate_with_cycle_index():
+    fusion = FusionLayer()
+    fusion.ingest(_report(epc=99))
+    suite = SiteInvariantSuite([1])
+    suite.check(fusion, cycle_index=0)
+    suite.check(fusion, cycle_index=7)
+    assert [v.cycle_index for v in suite.violations] == [0, 7]
+
+
+def test_real_site_run_upholds_every_invariant():
+    """End to end: a sharded site run passes the whole suite."""
+    config = SiteConfig(
+        topology=ring_site(3, 30, radius_m=2.5, range_m=12.0),
+        seed=11,
+        duration_s=0.1,
+        base_read_loss=0.2,
+        coordinator=ChannelCoordinator(n_channels=2),
+    )
+    run = simulate_site(config, workers=3)
+    suite = SiteInvariantSuite(run.truth_epc_values)
+    assert suite.check(run.fusion) == []
+    assert suite.ok

@@ -1,0 +1,122 @@
+"""Units for site topologies and the channel coordinator."""
+
+import math
+
+import pytest
+
+from repro.site.channels import MAX_INTERFERENCE_LOSS, ChannelCoordinator
+from repro.site.topology import (
+    ReaderPlacement,
+    SiteTopology,
+    line_site,
+    ring_site,
+)
+
+
+class TestReaderPlacement:
+    def test_round_trips_through_dict(self):
+        placement = ReaderPlacement(3, (1.0, -2.0, 1.5), range_m=7.0)
+        assert ReaderPlacement.from_dict(placement.to_dict()) == placement
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ReaderPlacement(-1, (0.0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            ReaderPlacement(0, (0.0, 0.0))
+        with pytest.raises(ValueError):
+            ReaderPlacement(0, (0.0, 0.0, 0.0), range_m=0.0)
+
+
+class TestSiteTopology:
+    def test_round_trips_through_dict(self):
+        topology = ring_site(3, 50)
+        assert SiteTopology.from_dict(topology.to_dict()) == topology
+
+    def test_reader_lookup(self):
+        topology = line_site(4, 10)
+        assert topology.reader(2).reader_id == 2
+        with pytest.raises(KeyError):
+            topology.reader(9)
+
+    def test_tag_grid_is_centred_and_complete(self):
+        topology = ring_site(2, 45)
+        positions = topology.tag_positions()
+        assert len(positions) == 45
+        # Full rows are symmetric about the field centre in x.
+        cx = topology.field_center[0]
+        row = positions[: topology.columns]
+        assert math.isclose(row[0][0] + row[-1][0], 2 * cx, abs_tol=1e-9)
+        # All tags share the field height.
+        assert {p[2] for p in positions} == {topology.field_center[2]}
+
+    def test_rejects_duplicate_reader_ids(self):
+        readers = (
+            ReaderPlacement(0, (0.0, 0.0, 1.0)),
+            ReaderPlacement(0, (1.0, 0.0, 1.0)),
+        )
+        with pytest.raises(ValueError):
+            SiteTopology(name="dup", readers=readers, n_tags=4)
+
+    def test_ring_readers_equidistant_from_centre(self):
+        topology = ring_site(5, 10, radius_m=3.0)
+        for placement in topology.readers:
+            x, y, _ = placement.position
+            assert math.isclose(math.hypot(x, y), 3.0, abs_tol=1e-6)
+
+    def test_line_readers_evenly_pitched(self):
+        topology = line_site(3, 10, pitch_m=2.0)
+        xs = [p.position[0] for p in topology.readers]
+        assert xs == sorted(xs)
+        assert math.isclose(xs[1] - xs[0], 2.0, abs_tol=1e-9)
+        assert math.isclose(xs[2] - xs[1], 2.0, abs_tol=1e-9)
+
+
+class TestChannelCoordinator:
+    def test_round_trips_through_dict(self):
+        coordinator = ChannelCoordinator(n_channels=4, co_channel_loss=0.2)
+        assert (
+            ChannelCoordinator.from_dict(coordinator.to_dict()) == coordinator
+        )
+
+    def test_assignment_is_round_robin(self):
+        coordinator = ChannelCoordinator(n_channels=2)
+        topology = ring_site(4, 10)
+        assert coordinator.assign(topology) == {0: 0, 1: 1, 2: 0, 3: 1}
+
+    def test_reader_plan_rotates_but_preserves_spectrum(self):
+        coordinator = ChannelCoordinator(n_channels=8)
+        base = coordinator.base_plan()
+        rotated = coordinator.reader_plan(3)
+        assert sorted(rotated.frequencies_hz) == sorted(base.frequencies_hz)
+        assert rotated.frequencies_hz[0] == base.frequencies_hz[3]
+        assert rotated.hop_dwell_s == base.hop_dwell_s
+
+    def test_lone_reader_suffers_no_interference(self):
+        coordinator = ChannelCoordinator(n_channels=2)
+        assert coordinator.interference_loss(ring_site(1, 10)) == {0: 0.0}
+
+    def test_co_channel_neighbours_hurt_more_than_adjacent(self):
+        coordinator = ChannelCoordinator(
+            n_channels=2, co_channel_loss=0.1, adjacent_loss=0.02
+        )
+        # ring-4 on 2 channels: each reader has 1 co-channel (opposite) and
+        # 2 adjacent-channel neighbours, all within reuse distance.
+        losses = coordinator.interference_loss(ring_site(4, 10, radius_m=3.0))
+        assert losses == {k: round(0.1 + 2 * 0.02, 9) for k in range(4)}
+        # ring-2 on 2 channels: the only neighbour is off-channel.
+        losses2 = coordinator.interference_loss(ring_site(2, 10, radius_m=3.0))
+        assert losses2 == {0: 0.02, 1: 0.02}
+
+    def test_distance_gates_interference(self):
+        coordinator = ChannelCoordinator(n_channels=1, reuse_distance_m=1.0)
+        losses = coordinator.interference_loss(line_site(2, 10, pitch_m=5.0))
+        assert losses == {0: 0.0, 1: 0.0}
+
+    def test_loss_saturates_at_cap(self):
+        coordinator = ChannelCoordinator(n_channels=1, co_channel_loss=0.5)
+        losses = coordinator.interference_loss(ring_site(6, 10, radius_m=1.0))
+        assert set(losses.values()) == {MAX_INTERFERENCE_LOSS}
+
+    def test_rejects_adjacent_above_co_channel(self):
+        with pytest.raises(ValueError):
+            ChannelCoordinator(co_channel_loss=0.05, adjacent_loss=0.1)
