@@ -177,12 +177,22 @@ class IndexedBitmaskTable:
         rows: List[CandidateRow] = []
         seen: Dict[bytes, int] = {}
 
-        def add_row(bitmask: BitMask, coverage: np.ndarray) -> None:
+        def add_row(
+            bitmask: BitMask,
+            coverage: np.ndarray,
+            packed: Optional[int] = None,
+        ) -> None:
             key = coverage.tobytes()
             if key in seen:
                 return
             seen[key] = len(rows)
-            rows.append(CandidateRow(bitmask, coverage))
+            row = CandidateRow(bitmask, coverage)
+            if packed is not None:
+                # Seed the cached_property: the caller batch-packed every
+                # candidate coverage in one numpy call (same bytes as
+                # pack_bitmap would produce row by row).
+                row.__dict__["packed"] = packed
+            rows.append(row)
 
         # Full-EPC masks: one per target, always present (the naive
         # baseline's rows, and the greedy's safe fallback).
@@ -190,7 +200,7 @@ class IndexedBitmaskTable:
         for t in targets:
             coverage = np.zeros(n, dtype=bool)
             coverage[t] = True
-            add_row(BitMask.full_epc(self.epcs[t]), coverage)
+            add_row(BitMask.full_epc(self.epcs[t]), coverage, 1 << t)
 
         max_len = min(self.max_mask_length, epc_length)
         target_arr = np.asarray(targets)
@@ -198,30 +208,47 @@ class IndexedBitmaskTable:
             values = self._window_values(length)
             target_values = values[target_arr]  # (n_targets, n_pointers)
             if self.include_dominated:
-                interesting = range(values.shape[1])
-            elif len(targets) < 2:
+                for pointer in range(values.shape[1]):
+                    column = values[:, pointer]
+                    for value in np.unique(target_values[:, pointer]):
+                        add_row(
+                            BitMask(int(value), int(pointer), length),
+                            column == value,
+                        )
+                continue
+            if len(targets) < 2:
                 continue  # no window can cover two targets
-            else:
-                # Columns where at least two targets share a value: sort
-                # each column and look for equal neighbours (vectorised,
-                # instead of one np.unique call per pointer — the planning
-                # hot path behind the paper's <4 ms scheduling overhead).
-                sorted_vals = np.sort(target_values, axis=0)
-                has_dup = (np.diff(sorted_vals, axis=0) == 0).any(axis=0)
-                interesting = np.flatnonzero(has_dup)
-            for pointer in interesting:
-                column = values[:, pointer]
-                t_col = target_values[:, pointer]
-                uniques, counts = np.unique(t_col, return_counts=True)
-                if self.include_dominated:
-                    wanted = uniques
-                else:
-                    wanted = uniques[counts >= 2]
-                for value in wanted:
-                    coverage = column == value
-                    add_row(
-                        BitMask(int(value), int(pointer), length), coverage
-                    )
+            # Values shared by >= 2 targets, fully vectorised: sort each
+            # column, mark equal neighbours, and read the (pointer, value)
+            # pairs out column-major so the emission order — pointers
+            # ascending, values ascending within a pointer — is exactly the
+            # per-column ``np.unique(...)[counts >= 2]`` walk this replaces
+            # (the planning hot path behind the paper's <4 ms overhead).
+            sorted_vals = np.sort(target_values, axis=0)
+            dup = sorted_vals[:-1] == sorted_vals[1:]
+            if not dup.any():
+                continue
+            dup_t = dup.T
+            cols = np.nonzero(dup_t)[0]
+            vals = sorted_vals[1:].T[dup_t]
+            if len(vals) > 1:
+                # A value occurring k >= 3 times yields k-1 adjacent pairs;
+                # keep one representative per (pointer, value).
+                keep = np.empty(len(vals), dtype=bool)
+                keep[0] = True
+                keep[1:] = (cols[1:] != cols[:-1]) | (vals[1:] != vals[:-1])
+                cols = cols[keep]
+                vals = vals[keep]
+            cov = values[:, cols] == vals[None, :]  # (n, n_pairs)
+            packed_bytes = np.packbits(cov, axis=0, bitorder="little")
+            col_list = cols.tolist()
+            val_list = vals.tolist()
+            for j, (pointer, value) in enumerate(zip(col_list, val_list)):
+                add_row(
+                    BitMask(value, pointer, length),
+                    np.ascontiguousarray(cov[:, j]),
+                    int.from_bytes(packed_bytes[:, j].tobytes(), "little"),
+                )
         return rows
 
     # ------------------------------------------------------------------

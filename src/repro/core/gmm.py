@@ -35,8 +35,9 @@ Stauffer-Grimson):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, NamedTuple, Optional
 
 import numpy as np
 
@@ -46,10 +47,38 @@ from repro.util.circular import (
     circular_signed_difference,
 )
 
+#: Same constant ``pdf`` always used (``np.sqrt(2 * np.pi)``), hoisted.
+_SQRT_TWO_PI = float(np.sqrt(2.0 * np.pi))
 
-@dataclass
+_PI = float(np.pi)
+
+
+def _circular_distance_scalar(a: float, b: float) -> float:
+    """Scalar :func:`circular_distance` without any ufunc dispatch.
+
+    ``math.fmod(x, 2*pi)`` (plus a negative-remainder correction) is
+    bit-identical to ``np.mod(x, 2*pi)`` for finite doubles, so this stays
+    byte-for-byte equal to the ndarray helper on the values the mixture
+    sees — it is verified against it in the test suite.
+    """
+    ra = math.fmod(a, TWO_PI)
+    if ra < 0.0:
+        ra += TWO_PI
+    rb = math.fmod(b, TWO_PI)
+    if rb < 0.0:
+        rb += TWO_PI
+    diff = abs(ra - rb)
+    return diff if diff <= _PI else TWO_PI - diff
+
+
+@dataclass(slots=True)
 class GaussianMode:
-    """One Gaussian over a circular (or linear) signal value."""
+    """One Gaussian over a circular (or linear) signal value.
+
+    ``slots=True``: every field is read and rewritten once per reading in
+    the assessment hot loop, and slot access is measurably cheaper than a
+    ``__dict__`` lookup.
+    """
 
     mean: float
     std: float
@@ -91,11 +120,13 @@ class GaussianMode:
     def pdf(self, value: float, circular: bool = True) -> float:
         """Gaussian density eta(value; mean, std) — Eqn 9."""
         d = (
-            circular_distance(value, self.mean)
+            _circular_distance_scalar(value, self.mean)
             if circular
             else abs(value - self.mean)
         )
-        coeff = 1.0 / (self.std * np.sqrt(2.0 * np.pi))
+        # np.exp (not math.exp): numpy's SIMD exp rounds differently on some
+        # inputs, and the committed golden traces pin the numpy values.
+        coeff = 1.0 / (self.std * _SQRT_TWO_PI)
         return float(coeff * np.exp(-(d**2) / (2.0 * self.std**2)))
 
 
@@ -144,9 +175,13 @@ class GmmParams:
             raise ValueError("invalid std bounds")
 
 
-@dataclass
-class UpdateResult:
-    """Outcome of feeding one reading into the stack."""
+class UpdateResult(NamedTuple):
+    """Outcome of feeding one reading into the stack.
+
+    A named tuple (not a dataclass): one is built per observation in the
+    motion-assessment hot loop and tuple construction is several times
+    cheaper, with identical field access.
+    """
 
     matched: bool  # a mode matched (any weight)
     stationary: bool  # matched AND the mode was reliable
@@ -190,13 +225,22 @@ class GaussianMixtureStack:
     # ------------------------------------------------------------------
     def _distance(self, a: float, b: float) -> float:
         if self.circular:
-            return float(circular_distance(a, b))
+            return _circular_distance_scalar(a, b)
         return abs(a - b)
 
     def _shift_mean(self, mean: float, value: float, rho: float) -> float:
         if self.circular:
-            delta = float(circular_signed_difference(value, mean))
-            return float(np.mod(mean + rho * delta, TWO_PI))
+            # Scalar replay of circular_signed_difference + wrap_phase:
+            # fmod with a negative-remainder fix is bit-identical to np.mod.
+            delta = math.fmod(value - mean, TWO_PI)
+            if delta < 0.0:
+                delta += TWO_PI
+            if delta > _PI:
+                delta -= TWO_PI
+            shifted = math.fmod(mean + rho * delta, TWO_PI)
+            if shifted < 0.0:
+                shifted += TWO_PI
+            return shifted
         return mean + rho * (value - mean)
 
     def sorted_modes(self) -> List[GaussianMode]:
@@ -208,15 +252,39 @@ class GaussianMixtureStack:
         """Feed one reading; learn; report whether it looked stationary."""
         p = self.params
         self.n_updates += 1
+        circular = self.circular
+        threshold = p.match_threshold
 
-        ordered = self.sorted_modes()
+        # Walk the modes in descending priority without materialising a
+        # sorted list: repeated first-of-the-maxima selection reproduces
+        # sorted(..., reverse=True) stable ordering exactly, and the scan
+        # almost always matches the top-priority mode on the first probe.
+        modes = self.modes
+        k = len(modes)
         matched_mode: Optional[GaussianMode] = None
         matched_rank: Optional[int] = None
-        for rank, mode in enumerate(ordered):
-            if self._distance(value, mode.mean) < p.match_threshold * mode.std:
-                matched_mode = mode
-                matched_rank = rank
-                break
+        if k:
+            pris = [
+                (m.weight / m.std if m.std > 0 else float("inf")) for m in modes
+            ]
+            for rank in range(k):
+                best_i = 0
+                best_p = pris[0]
+                for i in range(1, k):
+                    if pris[i] > best_p:
+                        best_p = pris[i]
+                        best_i = i
+                mode = modes[best_i]
+                d = (
+                    _circular_distance_scalar(value, mode.mean)
+                    if circular
+                    else abs(value - mode.mean)
+                )
+                if d < threshold * mode.std:
+                    matched_mode = mode
+                    matched_rank = rank
+                    break
+                pris[best_i] = -1.0  # consumed (real priorities are > 0)
 
         if matched_mode is None:
             # Case 2: no match => the tag is in motion; push a fresh mode.
@@ -232,36 +300,55 @@ class GaussianMixtureStack:
             )
 
         # Case 1: matched => stationary (if the mode has earned trust).
-        was_reliable = self._is_reliable(matched_mode)
+        reliable_weight = p.reliable_weight
+        std = matched_mode.std
+        was_reliable = (
+            matched_mode.weight >= reliable_weight
+            and std <= p.reliable_std
+            and matched_mode.best_run >= p.reliable_run
+        )
         matched_mode.n_matches += 1
         # Adaptive learning rate: young modes converge like a running
         # sample mean/std, mature modes settle at alpha * eta (see module
-        # docstring).
-        rho = max(
-            p.learning_rate * matched_mode.pdf(value, self.circular),
-            1.0 / matched_mode.n_matches,
-        )
+        # docstring).  The density call is skipped whenever its upper bound
+        # alpha / (std * sqrt(2*pi)) cannot beat the 1/n floor (or the floor
+        # already saturates the step clamp): the max/min below then resolve
+        # to the exact same rho without evaluating exp at all, which is the
+        # common case for mature, tight modes.
+        alpha = p.learning_rate
+        inv_n = 1.0 / matched_mode.n_matches
+        if inv_n >= p.max_update_step or alpha / (std * _SQRT_TWO_PI) <= inv_n:
+            rho = inv_n
+        else:
+            rho = max(
+                alpha * matched_mode.pdf(value, circular),
+                inv_n,
+            )
         rho = float(min(max(rho, 0.0), p.max_update_step))
         new_mean = self._shift_mean(matched_mode.mean, value, rho)
-        deviation = self._distance(value, new_mean)
-        new_var = (1.0 - rho) * matched_mode.std**2 + rho * deviation**2
+        deviation = (
+            _circular_distance_scalar(value, new_mean)
+            if circular
+            else abs(value - new_mean)
+        )
+        new_var = (1.0 - rho) * std**2 + rho * deviation**2
         matched_mode.mean = new_mean
-        matched_mode.std = float(max(np.sqrt(new_var), p.min_std))
-        for mode in self.modes:
+        matched_mode.std = float(max(math.sqrt(new_var), p.min_std))
+        decay = 1.0 - alpha
+        for mode in modes:
             if mode is matched_mode:
-                mode.weight = (1.0 - p.learning_rate) * mode.weight + p.learning_rate
-                mode.current_run += 1
-                mode.best_run = max(mode.best_run, mode.current_run)
+                mode.weight = decay * mode.weight + alpha
+                run = mode.current_run + 1
+                mode.current_run = run
+                if run > mode.best_run:
+                    mode.best_run = run
             else:
-                mode.weight = (1.0 - p.learning_rate) * mode.weight
+                mode.weight = decay * mode.weight
                 mode.current_run = 0
 
-        return UpdateResult(
-            matched=True,
-            stationary=was_reliable,
-            mode_index=matched_rank,
-            distance=self._distance(value, matched_mode.mean),
-        )
+        # ``deviation`` is literally the distance to the updated mean, so the
+        # result reuses it rather than recomputing the same expression.
+        return UpdateResult(True, was_reliable, matched_rank, deviation)
 
     def _is_reliable(self, mode: GaussianMode) -> bool:
         """A mode may vouch for stationarity only when it is both

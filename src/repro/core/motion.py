@@ -72,16 +72,22 @@ class MotionAssessor:
 
     def observe(self, obs: TagObservation) -> UpdateResult:
         """Feed one reading; updates the relevant shard and cycle votes."""
-        key = self._shard_key(obs)
+        epc_value = obs.epc.value
+        key = (
+            epc_value,
+            obs.antenna_index,
+            obs.channel_index if self.key_by_channel else 0,
+        )
         stack = self._stacks.get(key)
         if stack is None:
             stack = GaussianMixtureStack(self.params, circular=True)
             self._stacks[key] = stack
         result = stack.update(obs.phase_rad)
-        self._last_seen[obs.epc.value] = obs.time_s
-        self._cycle_flags.setdefault(obs.epc.value, []).append(
-            not result.stationary
-        )
+        self._last_seen[epc_value] = obs.time_s
+        flags = self._cycle_flags.get(epc_value)
+        if flags is None:
+            self._cycle_flags[epc_value] = flags = []
+        flags.append(not result.stationary)
         return result
 
     def observe_all(self, observations: Iterable[TagObservation]) -> None:

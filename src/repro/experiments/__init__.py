@@ -3,25 +3,18 @@
 Each module exposes ``run(...) -> <Result>`` plus ``format_report(result)``;
 benchmarks, tests and examples share these drivers (benchmarks at paper
 scale, tests at smoke scale).
+
+Submodules load lazily (PEP 562): eagerly importing every figure driver
+both slowed ``import repro.experiments`` down and created an import cycle —
+``repro.site.site`` uses :mod:`repro.experiments.parallel` for sharding,
+while :mod:`repro.experiments.fig_redundancy` drives ``repro.site.site`` —
+which only resolves when neither package pulls the whole other one in at
+import time.
 """
 
-from repro.experiments import (
-    ablations,
-    fig01_tracking,
-    fig02_irr,
-    fig03_trace,
-    fig08_gmm,
-    fig12_roc,
-    fig13_sensitivity,
-    fig14_learning,
-    fig15_feasibility,
-    fig17_cost,
-    fig18_gain,
-    fig_redundancy,
-    latency,
-    parallel,
-    report,
-)
+from __future__ import annotations
+
+import importlib
 
 __all__ = [
     "ablations",
@@ -40,3 +33,17 @@ __all__ = [
     "parallel",
     "report",
 ]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(
+        f"module 'repro.experiments' has no attribute {name!r}"
+    )
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -13,7 +13,6 @@ consumed disconnects) and must not be shared between readers.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -237,4 +236,4 @@ class FaultInjector:
     def _spike_phase(self, obs: TagObservation) -> TagObservation:
         spike = self._rng_phase.normal(0.0, self.plan.phase_spike_std_rad)
         phase = float(np.mod(obs.phase_rad + spike, TWO_PI))
-        return replace(obs, phase_rad=phase)
+        return obs._replace(phase_rad=phase)

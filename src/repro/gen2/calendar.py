@@ -1,0 +1,143 @@
+"""Event-calendar round settlement for ``engine="calendar"``.
+
+The calendar engine treats an inventory round as a *pre-planned calendar of
+events* rather than a Python loop: the whole round — every frame draw, the
+Q-algorithm walk, slot settlement, dedup and cumulative time assignment — is
+handed to the compiled kernel in :mod:`repro.gen2._ckernel` as one call, and
+Python only materialises the results (an :class:`InventoryLog` plus
+:class:`TagRead` records).  Python-level work is thereby O(rounds) with a
+tiny constant instead of O(frames) or O(slots), and rounds that the kernel
+cannot express (link loss, custom strategies, frame-level tracing, exotic
+bit generators) fall back to the vectorised fast path, which is always
+correct.
+
+This module owns the per-engine kernel state: the loaded shared library and
+the reusable scratch buffers the kernel writes into.  Buffers are allocated
+once and grown geometrically, so steady-state rounds do zero allocation
+beyond the result objects themselves.
+
+RNG discipline matches the fast engine's buffered path exactly: frame draws
+are replayed from the engine's pre-fetched PCG64 32-bit lane buffer
+(``lane >> (32 - q)``), and the kernel reports how many lanes it needed when
+the buffer runs dry — the caller refills (which re-snapshots numpy's stream
+position, exactly like :meth:`InventoryEngine._lane_fill`) and re-runs the
+round; nothing was committed, so the retry is idempotent.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro.gen2 import _ckernel
+
+__all__ = ["CalendarKernel"]
+
+
+class CalendarKernel:
+    """Loaded C kernel plus reusable scratch for one :class:`InventoryEngine`.
+
+    ``fn`` is ``None`` when the compiled kernel is unavailable (no C
+    compiler, or disabled via ``REPRO_CALENDAR_CKERNEL=0``); callers must
+    then use the pure-Python fast path.
+    """
+
+    __slots__ = (
+        "fn",
+        "dpar",
+        "ipar",
+        "out_i",
+        "out_d",
+        "counts",
+        "owner",
+        "dpar_ptr",
+        "ipar_ptr",
+        "out_i_ptr",
+        "out_d_ptr",
+        "counts_ptr",
+        "owner_ptr",
+        "cap",
+        "seen",
+        "draws",
+        "unseen",
+        "read_pos",
+        "read_slot",
+        "read_time",
+        "seen_ptr",
+        "draws_ptr",
+        "unseen_ptr",
+        "read_pos_ptr",
+        "read_slot_ptr",
+        "read_time_ptr",
+        "out_i_np",
+        "read_pos_np",
+        "read_slot_np",
+        "read_time_np",
+        "timing_src",
+        "t_startup",
+        "t_empty",
+    )
+
+    def __init__(self) -> None:
+        lib = _ckernel.load_kernel()
+        self.fn = lib.repro_run_round if lib is not None else None
+        if self.fn is None:
+            return
+        self.dpar = (ctypes.c_double * 8)()
+        self.ipar = (ctypes.c_int64 * 8)()
+        self.out_i = (ctypes.c_int64 * 10)()
+        self.out_d = (ctypes.c_double * 2)()
+        self.counts = (ctypes.c_int32 * _ckernel.MAX_FRAME)()
+        self.owner = (ctypes.c_int32 * _ckernel.MAX_FRAME)()
+        self.dpar_ptr = ctypes.addressof(self.dpar)
+        self.ipar_ptr = ctypes.addressof(self.ipar)
+        self.out_i_ptr = ctypes.addressof(self.out_i)
+        self.out_d_ptr = ctypes.addressof(self.out_d)
+        self.counts_ptr = ctypes.addressof(self.counts)
+        self.owner_ptr = ctypes.addressof(self.owner)
+        # Zero-copy view: bulk ``tolist()`` beats per-element ctypes access.
+        self.out_i_np = np.frombuffer(self.out_i, dtype=np.int64)
+        self.timing_src = None
+        self.cap = 0
+        self._grow(256)
+
+    def bind_timing(self, timing) -> None:
+        """Cache the profile's derived durations (they are computed
+        properties, too costly to re-derive every round)."""
+        dpar = self.dpar
+        dpar[2] = timing.empty_slot_duration
+        dpar[3] = timing.success_slot_duration
+        dpar[4] = timing.collision_slot_duration
+        dpar[5] = timing.query_adjust_duration
+        dpar[6] = timing.query_duration
+        self.t_startup = timing.startup_cost
+        self.t_empty = timing.empty_slot_duration
+        self.timing_src = timing
+
+    def _grow(self, n: int) -> None:
+        cap = max(256, self.cap)
+        while cap < n:
+            cap <<= 1
+        self.cap = cap
+        self.seen = (ctypes.c_uint8 * cap)()
+        self.draws = (ctypes.c_int32 * cap)()
+        self.unseen = (ctypes.c_int32 * cap)()
+        self.read_pos = (ctypes.c_int64 * cap)()
+        self.read_slot = (ctypes.c_int64 * cap)()
+        self.read_time = (ctypes.c_double * cap)()
+        self.seen_ptr = ctypes.addressof(self.seen)
+        self.draws_ptr = ctypes.addressof(self.draws)
+        self.unseen_ptr = ctypes.addressof(self.unseen)
+        self.read_pos_ptr = ctypes.addressof(self.read_pos)
+        self.read_slot_ptr = ctypes.addressof(self.read_slot)
+        self.read_time_ptr = ctypes.addressof(self.read_time)
+        self.read_pos_np = np.frombuffer(self.read_pos, dtype=np.int64)
+        self.read_slot_np = np.frombuffer(self.read_slot, dtype=np.int64)
+        self.read_time_np = np.frombuffer(self.read_time, dtype=np.float64)
+
+    def prepare(self, n: int) -> None:
+        """Size scratch for an ``n``-participant round (``seen`` is cleared
+        by the kernel itself at entry)."""
+        if n > self.cap:
+            self._grow(n)

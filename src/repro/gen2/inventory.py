@@ -35,6 +35,13 @@ slot-consumption engines share that draw:
   original implementation did; it is kept as the differential-testing oracle
   (see ``tests/gen2/test_fast_engine.py``) and can be forced globally via the
   ``REPRO_INVENTORY_ENGINE`` environment variable.
+- ``engine="calendar"`` (the default) settles whole rounds through the
+  compiled event-calendar kernel (:mod:`repro.gen2.calendar`): one C call
+  per round replays the same PCG64 lane stream, so Python-level work is
+  O(rounds) instead of O(slots).  Rounds the kernel cannot express — link
+  loss, custom strategies, frame-level tracing, non-PCG64 generators, or a
+  missing C compiler — transparently fall back to the fast path, which is
+  bit-identical.  See ``tests/gen2/test_calendar_engine.py``.
 """
 
 from __future__ import annotations
@@ -42,7 +49,7 @@ from __future__ import annotations
 import os
 import sys
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -56,9 +63,14 @@ from repro.obs.tracer import get_tracer
 from repro.util.rng import SeedLike, make_rng
 
 
-@dataclass(frozen=True)
-class TagRead:
-    """One reported EPC read of a tag, in simulated time."""
+class TagRead(NamedTuple):
+    """One reported EPC read of a tag, in simulated time.
+
+    A named tuple rather than a (frozen) dataclass: reads are produced in
+    the hot settlement loops of every engine, and tuple construction is
+    several times cheaper than a frozen dataclass ``__init__`` while
+    keeping immutability and field access identical.
+    """
 
     tag_index: int
     time_s: float
@@ -119,11 +131,11 @@ class InventoryEngine:
     with_replacement:
         Session model; see the module docstring.
     engine:
-        ``"fast"`` (frame-granular vectorised path, the default) or
-        ``"reference"`` (sequential slot walk).  Both produce identical
-        results for identical seeds; ``None`` reads the
-        ``REPRO_INVENTORY_ENGINE`` environment variable and defaults to
-        ``"fast"``.
+        ``"calendar"`` (compiled event-calendar kernel, the default),
+        ``"fast"`` (frame-granular vectorised path) or ``"reference"``
+        (sequential slot walk).  All three produce identical results for
+        identical seeds; ``None`` reads the ``REPRO_INVENTORY_ENGINE``
+        environment variable and defaults to ``"calendar"``.
     """
 
     #: Hard cap on slots per round; prevents pathological strategies (e.g.
@@ -146,9 +158,11 @@ class InventoryEngine:
         if not 0.0 <= read_loss_probability < 1.0:
             raise ValueError("read loss probability must be in [0, 1)")
         if engine is None:
-            engine = os.environ.get("REPRO_INVENTORY_ENGINE", "fast")
-        if engine not in ("fast", "reference"):
-            raise ValueError(f"engine must be 'fast' or 'reference', got {engine!r}")
+            engine = os.environ.get("REPRO_INVENTORY_ENGINE", "calendar")
+        if engine not in ("calendar", "fast", "reference"):
+            raise ValueError(
+                f"engine must be 'calendar', 'fast' or 'reference', got {engine!r}"
+            )
         self.engine = engine
         self.timing = timing
         self.strategy_factory = strategy_factory
@@ -174,6 +188,9 @@ class InventoryEngine:
         self._lane_list: Optional[List[int]] = None
         self._lane_pos = 0
         self._lane_len = 0
+        #: Lazily created compiled-kernel state for ``engine="calendar"``
+        #: (:class:`repro.gen2.calendar.CalendarKernel`).
+        self._cal = None
 
     # ------------------------------------------------------------------
     def run_round(
@@ -190,6 +207,10 @@ class InventoryEngine:
         time is part of the profile's ``round_overhead_s``), when
         ``max_duration_s`` elapses, or when the slot cap trips.
         """
+        if self.engine == "calendar":
+            return self._run_round_calendar(
+                participant_ids, start_time_s, max_duration_s, on_read
+            )
         if self.engine == "reference":
             return self._run_round_reference(
                 participant_ids, start_time_s, max_duration_s, on_read
@@ -197,6 +218,207 @@ class InventoryEngine:
         return self._run_round_fast(
             participant_ids, start_time_s, max_duration_s, on_read
         )
+
+    # ------------------------------------------------------------------
+    def _run_round_calendar(
+        self,
+        participant_ids: Sequence[int],
+        start_time_s: float,
+        max_duration_s: Optional[float],
+        on_read: Optional[Callable[[TagRead], None]],
+    ) -> InventoryLog:
+        """Settle the whole round through the compiled calendar kernel.
+
+        One C call per round replays the engine's buffered PCG64 lane
+        stream, so results — reads, counters, timestamps and the RNG
+        position afterwards — are bit-identical to the fast and reference
+        engines.  Rounds the kernel cannot express fall back to
+        :meth:`_run_round_fast` (with the already-created strategy passed
+        through, preserving the one-factory-call-per-round contract).
+        """
+        cal = self._cal
+        if cal is None:
+            from repro.gen2.calendar import CalendarKernel
+
+            cal = self._cal = CalendarKernel()
+        tracer = get_tracer()
+        traced = tracer.enabled
+        bit_generator = self.rng.bit_generator
+        if (
+            cal.fn is None
+            or on_read is not None
+            or self.read_loss_probability > 0.0
+            or (traced and tracer.frame_detail)
+            or not _LITTLE_ENDIAN
+            or not isinstance(bit_generator, np.random.PCG64)
+        ):
+            return self._run_round_fast(
+                participant_ids, start_time_s, max_duration_s, on_read
+            )
+
+        timing = self.timing
+        if cal.timing_src is not timing:
+            cal.bind_timing(timing)
+        t_startup = cal.t_startup
+        t = start_time_s + t_startup
+        n = len(participant_ids)
+        if n == 0:
+            # Mirrors both engines: the strategy factory is never called,
+            # the reader pays the start-up cost and probes one empty slot.
+            round_index = self._round_counter
+            self._round_counter += 1
+            end_t = t + cal.t_empty
+            log = InventoryLog(start_time_s=start_time_s, end_time_s=end_t)
+            log.n_rounds = 1
+            log.n_empty = 1
+            if traced:
+                span = tracer.begin(
+                    "round",
+                    t=start_time_s,
+                    category="gen2",
+                    round_index=round_index,
+                    n_participants=0,
+                    startup_s=t_startup,
+                )
+                tracer.end(
+                    span,
+                    t=end_t,
+                    n_slots=1,
+                    n_empty=1,
+                    n_single=0,
+                    n_collision=0,
+                    n_adjusts=0,
+                    n_reads=0,
+                    n_frames=0,
+                    truncated=False,
+                )
+            return log
+
+        strategy = self.strategy_factory()
+        strategy_type = type(strategy)
+        if strategy_type is QAdaptive:
+            strat_code = 1
+            q_const = strategy.c
+        elif strategy_type is FixedQ:
+            strat_code = 0
+            q_const = 0.0
+        else:
+            return self._run_round_fast(
+                participant_ids,
+                start_time_s,
+                max_duration_s,
+                on_read,
+                _strategy=strategy,
+            )
+        first_frame = max(1, strategy.start_round(n))
+        q0 = first_frame.bit_length() - 1
+
+        round_index = self._round_counter
+        self._round_counter += 1
+        round_span = None
+        if traced:
+            round_span = tracer.begin(
+                "round",
+                t=start_time_s,
+                category="gen2",
+                round_index=round_index,
+                n_participants=n,
+                startup_s=t_startup,
+            )
+
+        dpar = cal.dpar
+        ipar = cal.ipar
+        dpar[0] = t
+        dpar[1] = (
+            start_time_s + max_duration_s
+            if max_duration_s is not None
+            else float("inf")
+        )
+        dpar[7] = q_const
+        ipar[0] = n
+        ipar[1] = strat_code
+        ipar[2] = q0
+        ipar[3] = 1 if self.with_replacement else 0
+        ipar[4] = self.MAX_SLOTS_PER_ROUND
+
+        cal.prepare(n)
+        fn = cal.fn
+        raw_draw = bit_generator.random_raw
+        while True:
+            rc = fn(
+                cal.dpar_ptr,
+                cal.ipar_ptr,
+                self._lane_arr.ctypes.data if self._lane_arr is not None else 0,
+                self._lane_len,
+                self._lane_pos,
+                cal.seen_ptr,
+                cal.draws_ptr,
+                cal.counts_ptr,
+                cal.owner_ptr,
+                cal.unseen_ptr,
+                cal.out_i_ptr,
+                cal.out_d_ptr,
+                cal.read_pos_ptr,
+                cal.read_slot_ptr,
+                cal.read_time_ptr,
+            )
+            if rc == 0:
+                break
+            # Lane buffer ran dry mid-round: refill (keeping everything from
+            # the round's start position) and re-run — the kernel committed
+            # nothing, so the retry is idempotent.  The generous floor keeps
+            # refills rare on long runs.
+            self._lane_fill(raw_draw, cal.out_i[0] + 16384)
+
+        (
+            lane_pos,
+            n_empty,
+            n_single,
+            n_collision,
+            n_duplicate,
+            n_adjusts,
+            n_frames,
+            truncated,
+            n_reads,
+            n_slots,
+        ) = cal.out_i_np.tolist()
+        self._lane_pos = lane_pos
+        end_t = cal.out_d[0]
+        log = InventoryLog(start_time_s=start_time_s, end_time_s=end_t)
+        log.n_rounds = 1
+        log.n_empty = n_empty
+        log.n_single = n_single
+        log.n_collision = n_collision
+        log.n_duplicate = n_duplicate
+        log.n_adjusts = n_adjusts
+        log.truncated = bool(truncated)
+        if n_reads:
+            if type(participant_ids) is list:
+                ids_list = participant_ids
+            else:
+                ids_list = np.asarray(participant_ids, dtype=np.int64).tolist()
+            log.reads = [
+                TagRead(ids_list[p_i], time_s, round_index, slot)
+                for p_i, slot, time_s in zip(
+                    cal.read_pos_np[:n_reads].tolist(),
+                    cal.read_slot_np[:n_reads].tolist(),
+                    cal.read_time_np[:n_reads].tolist(),
+                )
+            ]
+        if round_span is not None:
+            tracer.end(
+                round_span,
+                t=end_t,
+                n_slots=n_slots,
+                n_empty=n_empty,
+                n_single=n_single,
+                n_collision=n_collision,
+                n_adjusts=n_adjusts,
+                n_reads=n_reads,
+                n_frames=n_frames,
+                truncated=log.truncated,
+            )
+        return log
 
     # ------------------------------------------------------------------
     def _run_round_reference(
@@ -388,11 +610,15 @@ class InventoryEngine:
         arr = self._lane_arr
         left = arr[self._lane_pos :] if arr is not None else None
         have = int(left.size) if left is not None else 0
-        n_words = max(256, ((min_lanes - have) + 1) >> 1)
+        n_words = max(8192, ((min_lanes - have) + 1) >> 1)
         fresh = raw_draw(n_words).view(np.uint32)
         arr = np.concatenate((left, fresh)) if have else fresh
         self._lane_arr = arr
-        self._lane_list = arr.tolist()
+        # The Python-list mirror is only read by the fast engine's
+        # small-frame loop; materialise it there on demand so the calendar
+        # kernel (which consumes lanes straight from the array) never pays
+        # a full ``tolist`` per refill.
+        self._lane_list = None
         self._lane_pos = 0
         self._lane_len = int(arr.size)
 
@@ -430,6 +656,7 @@ class InventoryEngine:
         start_time_s: float,
         max_duration_s: Optional[float],
         on_read: Optional[Callable[[TagRead], None]],
+        _strategy: Optional[FrameStrategy] = None,
     ) -> InventoryLog:
         """Frame-granular engine: identical results, far fewer Python slots.
 
@@ -496,7 +723,10 @@ class InventoryEngine:
             log.n_empty = 1
             return _finish(t + timing.empty_slot_duration)
 
-        strategy = self.strategy_factory()
+        # The calendar engine probes the strategy type before deciding to
+        # fall back here; it passes the instance through so the factory is
+        # still called exactly once per round.
+        strategy = self.strategy_factory() if _strategy is None else _strategy
         n = int(ids.size)
         frame_length = max(1, strategy.start_round(n))
         seen = np.zeros(n, dtype=bool)
@@ -587,9 +817,13 @@ class InventoryEngine:
                             self._lane_fill(raw_draw, size)
                             pos0 = 0
                         self._lane_pos = pos0 + size
+                        lane_list = self._lane_list
+                        if lane_list is None:
+                            lane_list = self._lane_arr.tolist()
+                            self._lane_list = lane_list
                         draws_list = [
                             lane >> shift
-                            for lane in self._lane_list[pos0 : pos0 + size]
+                            for lane in lane_list[pos0 : pos0 + size]
                         ]
                     elif raw_draw is not None:
                         draws_list = self._raw_frame_draw(

@@ -60,6 +60,24 @@ class BenchResult:
             return 0.0
         return self.counts.get("slots", 0) / self.wall_s
 
+    @property
+    def startup_cpu_share(self) -> float:
+        """Fraction of round air time paid to per-round start-up.
+
+        ``round_startup_s / (round_startup_s + slot_s)``: the share of every
+        inventory round's simulated span that is fixed orchestration cost
+        (``tau0``) rather than contended slots.  A change that silently makes
+        rounds shorter and more numerous — more orchestration per slot of
+        useful air time — moves this up even when raw throughput looks fine,
+        which is why the bench-compare gate watches it alongside
+        ``slots_per_wall_s``.
+        """
+        startup = self.breakdown.get("round_startup_s", 0.0)
+        total = startup + self.breakdown.get("slot_s", 0.0)
+        if total <= 0.0:
+            return 0.0
+        return startup / total
+
     def to_dict(self) -> Dict[str, object]:
         """Stable-shape JSON export (wall timings vary run to run)."""
         return {
@@ -68,6 +86,7 @@ class BenchResult:
             "wall_s": round(self.wall_s, 6),
             "sim_s": round(self.sim_s, 9),
             "slots_per_wall_s": round(self.slots_per_wall_s, 1),
+            "startup_cpu_share": round(self.startup_cpu_share, 6),
             "breakdown": {k: round(v, 9) for k, v in sorted(self.breakdown.items())},
             "counts": dict(sorted(self.counts.items())),
             "workload": self.workload,
@@ -208,6 +227,12 @@ def _analyze(records: Sequence[object]) -> Dict[str, object]:
     t_max: Optional[float] = None
     frames_from_rounds = 0
     frame_spans = 0
+    # Spans indexed by id so the event pass below can walk parent chains.
+    # Records arrive in completion order (children close before parents), so
+    # an event's enclosing spans may appear *after* it — hence two passes.
+    span_by_id: Dict[int, Span] = {
+        r.span_id: r for r in records if isinstance(r, Span)
+    }
     for record in records:
         if isinstance(record, Span):
             counts["spans"] += 1
@@ -217,7 +242,14 @@ def _analyze(records: Sequence[object]) -> Dict[str, object]:
                 counts["rounds"] += 1
                 counts["slots"] += int(record.args.get("n_slots", 0))
                 frames_from_rounds += int(record.args.get("n_frames", 0))
-                startup = float(record.args.get("startup_s", 0.0))
+                # Clamp: a round truncated by ``max_duration_s`` can report
+                # a nominal start-up longer than the span it actually got;
+                # without the clamp the budget lines would sum past the
+                # trace's simulated extent (double counting the cut tail).
+                startup = min(
+                    float(record.args.get("startup_s", 0.0)),
+                    max(0.0, record.duration_s),
+                )
                 breakdown["round_startup_s"] += startup
                 breakdown["slot_s"] += max(0.0, record.duration_s - startup)
             elif record.name == "frame":
@@ -240,9 +272,26 @@ def _analyze(records: Sequence[object]) -> Dict[str, object]:
             counts["events"] += 1
             if record.name == "select":
                 counts["selects"] += 1
-                breakdown["select_extra_s"] += float(
-                    record.args.get("extra_cost_s", 0.0)
-                )
+                # A select event fired *inside* a round span sits in the
+                # round's start-up window, which the span accounting above
+                # already covers; adding its cost again would double count.
+                # The reader emits selects outside the engine's round span
+                # (extra Selects precede the round), so only foreign or
+                # legacy traces hit this exclusion.
+                inside_round = False
+                parent_id = record.parent_id
+                while parent_id:
+                    parent = span_by_id.get(parent_id)
+                    if parent is None:
+                        break
+                    if parent.name == "round":
+                        inside_round = True
+                        break
+                    parent_id = parent.parent_id
+                if not inside_round:
+                    breakdown["select_extra_s"] += float(
+                        record.args.get("extra_cost_s", 0.0)
+                    )
             elif record.name == "setcover.iteration":
                 counts["setcover_iterations"] += 1
             elif record.name == "gmm.classify":

@@ -41,6 +41,12 @@ __all__ = [
 #: order of magnitude, not the last percent.
 DEFAULT_MAX_REGRESSION = 0.25
 
+#: Absolute increase in ``startup_cpu_share`` tolerated before the gate
+#: fails.  The share is a ratio of *simulated* times, so unlike wall-clock
+#: throughput it is deterministic — the allowance only absorbs deliberate
+#: small workload rebalances, not measurement noise.
+DEFAULT_MAX_SHARE_INCREASE = 0.05
+
 
 @dataclass
 class BenchComparison:
@@ -55,6 +61,11 @@ class BenchComparison:
     #: baseline predates a workload change and needs a refresh).
     baseline_slots: int = 0
     current_slots: int = 0
+    #: Per-round orchestration cost share (see BenchResult.startup_cpu_share);
+    #: ``None`` baseline means the committed JSON predates the metric.
+    baseline_startup_share: Optional[float] = None
+    current_startup_share: float = 0.0
+    max_share_increase: float = DEFAULT_MAX_SHARE_INCREASE
 
     @property
     def ratio(self) -> float:
@@ -64,8 +75,22 @@ class BenchComparison:
         return self.current_slots_per_s / self.baseline_slots_per_s
 
     @property
-    def regressed(self) -> bool:
+    def throughput_regressed(self) -> bool:
         return self.ratio < (1.0 - self.max_regression)
+
+    @property
+    def share_regressed(self) -> bool:
+        """Did per-round orchestration cost grow past the allowance?"""
+        if self.baseline_startup_share is None:
+            return False
+        return (
+            self.current_startup_share
+            > self.baseline_startup_share + self.max_share_increase
+        )
+
+    @property
+    def regressed(self) -> bool:
+        return self.throughput_regressed or self.share_regressed
 
     @property
     def counts_drifted(self) -> bool:
@@ -99,6 +124,18 @@ def compare_result(
     max_regression: float = DEFAULT_MAX_REGRESSION,
 ) -> BenchComparison:
     """Compare one fresh :class:`BenchResult` against a baseline dict."""
+    baseline_share: Optional[float] = None
+    if "startup_cpu_share" in baseline:
+        baseline_share = float(baseline["startup_cpu_share"])
+    else:
+        # Older baselines predate the derived metric but carry the raw
+        # budget lines it is computed from; reconstruct it so the gate
+        # still bites without a baseline refresh.
+        breakdown = baseline.get("breakdown", {})
+        startup = float(breakdown.get("round_startup_s", 0.0))
+        total = startup + float(breakdown.get("slot_s", 0.0))
+        if total > 0.0:
+            baseline_share = startup / total
     return BenchComparison(
         name=str(baseline.get("name", current.name)),
         baseline_slots_per_s=float(baseline.get("slots_per_wall_s", 0.0)),
@@ -106,6 +143,8 @@ def compare_result(
         max_regression=max_regression,
         baseline_slots=int(baseline.get("counts", {}).get("slots", 0)),
         current_slots=int(current.counts.get("slots", 0)),
+        baseline_startup_share=baseline_share,
+        current_startup_share=current.startup_cpu_share,
     )
 
 
@@ -134,18 +173,36 @@ def run_compare(
 
 def format_compare(report: CompareReport) -> str:
     """Human-readable verdict table for the CLI and CI logs."""
-    headers = ["workload", "baseline slots/s", "current slots/s", "ratio", "verdict"]
+    headers = [
+        "workload",
+        "baseline slots/s",
+        "current slots/s",
+        "ratio",
+        "startup share",
+        "verdict",
+    ]
     rows: List[List[object]] = []
     for c in report.comparisons:
-        verdict = "REGRESSED" if c.regressed else "ok"
+        if c.regressed:
+            verdict = "REGRESSED"
+            if c.share_regressed:
+                verdict += " (startup share)"
+        else:
+            verdict = "ok"
         if c.counts_drifted:
             verdict += " (slot counts drifted; refresh baseline?)"
+        share = round(c.current_startup_share, 3)
+        if c.baseline_startup_share is not None:
+            share_cell = f"{round(c.baseline_startup_share, 3)}->{share}"
+        else:
+            share_cell = f"-> {share}"
         rows.append(
             [
                 c.name,
                 round(c.baseline_slots_per_s, 1),
                 round(c.current_slots_per_s, 1),
                 round(c.ratio, 3),
+                share_cell,
                 verdict,
             ]
         )

@@ -48,9 +48,14 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
-    """One closed interval of simulated time, nested under a parent span."""
+    """One closed interval of simulated time, nested under a parent span.
+
+    ``slots=True``: spans are created twice per inventory round on the
+    traced hot path, and slot-based instances both construct and read
+    measurably faster than ``__dict__``-backed ones.
+    """
 
     span_id: int
     parent_id: int  # 0 = root (no enclosing span)
@@ -76,7 +81,7 @@ class Span:
         return self.wall_end_s - self.wall_start_s
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """An instant point on the simulated timeline."""
 
@@ -135,6 +140,8 @@ class Tracer:
 
     def begin(self, name: str, t: float, category: str = "", **args: object) -> Span:
         """Open a span at simulated time ``t``; close it with :meth:`end`."""
+        # ``args`` is the fresh dict ``**kwargs`` built for this call; the
+        # span can own it without a defensive copy.
         span = Span(
             span_id=self._fresh_id(),
             parent_id=self._stack[-1].span_id if self._stack else 0,
@@ -142,7 +149,7 @@ class Tracer:
             name=name,
             category=category,
             start_s=float(t),
-            args=dict(args),
+            args=args,
             wall_start_s=self._wall(),
         )
         self._stack.append(span)
@@ -186,7 +193,7 @@ class Tracer:
             name=name,
             category=category,
             t_s=float(t),
-            args=dict(args),
+            args=args,
         )
         self.records.append(record)
         return record

@@ -18,6 +18,7 @@ structure Phase I exploits.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence, Tuple
 
@@ -82,6 +83,33 @@ def path_geometry(
     return d_direct, echoes
 
 
+def _probe_scalar_gain() -> bool:
+    """Machine-check the scalar libm form of the one-way gain.
+
+    ``amp * exp(-2j*pi*d/lam)`` has zero real part in the exponent, so it
+    reduces to ``amp*cos(y) + j*amp*sin(y)`` with ``y = (-(2*pi)*d)/lam``.
+    libm's scalar ``cos``/``sin`` round identically to the numpy ufuncs on
+    this platform, making the reduction bit-exact — but that is a platform
+    property, so it is probed on a deterministic sample at import time and
+    the scalar path is disabled wholesale on any mismatch.
+    """
+    rng = np.random.default_rng(54321)
+    for d, freq in zip(
+        rng.uniform(0.05, 20.0, 256).tolist(),
+        rng.uniform(860e6, 960e6, 256).tolist(),
+    ):
+        lam = wavelength(freq)
+        amp = path_loss_amplitude(d, lam)
+        y = (-(2.0 * np.pi) * d) / lam
+        ref = complex(amp * np.exp(-2j * np.pi * d / lam))
+        if complex(amp * math.cos(y), amp * math.sin(y)) != ref:
+            return False  # pragma: no cover - platform-dependent rounding
+    return True
+
+
+_SCALAR_GAIN = _probe_scalar_gain()
+
+
 def one_way_gain_from_geometry(
     geometry: PathGeometry, freq_hz: float
 ) -> complex:
@@ -89,6 +117,12 @@ def one_way_gain_from_geometry(
     :func:`one_way_gain`, so results are bit-identical)."""
     lam = wavelength(freq_hz)
     d_direct, echoes = geometry
+    if not echoes and _SCALAR_GAIN:
+        # Echo-free links dominate the hot measurement path (every mobile
+        # tag, every round); the scalar form skips complex-array dispatch.
+        amp = path_loss_amplitude(d_direct, lam)
+        y = (-(2.0 * np.pi) * d_direct) / lam
+        return complex(amp * math.cos(y), amp * math.sin(y))
     g = path_loss_amplitude(d_direct, lam) * np.exp(
         -2j * np.pi * d_direct / lam
     )

@@ -9,8 +9,9 @@ motion indicator in Fig 12/13.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
@@ -39,9 +40,15 @@ class NoiseModel:
             raise ValueError("quantisation steps must be non-negative")
 
 
-@dataclass(frozen=True)
-class TagObservation:
-    """One enriched tag read, as delivered by the reader to Tagwatch."""
+class TagObservation(NamedTuple):
+    """One enriched tag read, as delivered by the reader to Tagwatch.
+
+    A ``NamedTuple`` rather than a frozen dataclass: observations are
+    constructed once per successful slot on the simulator's hottest path,
+    and tuple construction is several times cheaper than a frozen
+    dataclass ``__init__`` while keeping the same immutable, field-named
+    API (use ``_replace`` instead of ``dataclasses.replace``).
+    """
 
     epc: "object"  # repro.gen2.EPC; typed loosely to avoid an import cycle
     time_s: float
@@ -59,6 +66,18 @@ def _quantize(value: float, quantum: float) -> float:
     if quantum <= 0:
         return value
     return round(value / quantum) * quantum
+
+
+def _wrap_two_pi(value: float) -> float:
+    """Scalar ``np.mod(value, TWO_PI)``, via the C library.
+
+    ``math.fmod`` keeps the dividend's sign, so a negative remainder is
+    shifted up by one period; the result is bit-identical to numpy's mod
+    (both reduce to the same correctly-rounded fmod) without the overhead
+    of a numpy scalar ufunc call.
+    """
+    r = math.fmod(value, TWO_PI)
+    return r + TWO_PI if r < 0.0 else r
 
 
 def measurement_bases(
@@ -112,22 +131,27 @@ def measure_many_from_bases(
     one draw, so both the values and the RNG stream position match ``k``
     sequential :func:`measure_from_bases` calls bit for bit.
     """
-    gen = make_rng(rng)
     if not bases:
         return []
+    gen = make_rng(rng)
     z = gen.standard_normal(2 * len(bases)).tolist()
     phase_std = noise.phase_noise_std_rad
     rss_std = noise.rss_noise_std_db
     phase_q = noise.phase_quantum_rad
     rss_q = noise.rss_quantum_db
     out = []
+    append = out.append
     i = 0
     for phase_base, rss_base in bases:
         phase = phase_base + phase_std * z[i]
-        phase = float(np.mod(_quantize(phase, phase_q), TWO_PI))
-        rss = rss_base + rss_std * z[i + 1]
-        rss = float(_quantize(rss, rss_q))
-        out.append((phase, rss))
+        if phase_q > 0:
+            phase = round(phase / phase_q) * phase_q
+        append(
+            (
+                _wrap_two_pi(phase),
+                _quantize(rss_base + rss_std * z[i + 1], rss_q),
+            )
+        )
         i += 2
     return out
 

@@ -84,6 +84,13 @@ class SimReader:
         self._channel_index = 0
         self._last_hop_s = 0.0
         self._report_callbacks: List[ReportCallback] = []
+        # (scene generation, Select tuple) -> {tag index: SL flag}.  A tag's
+        # flag is a pure function of the Select sequence and its static
+        # memory contents, so it is computed once per (selects, tag) instead
+        # of once per round; the generation guard drops the cache whenever
+        # the scene's tag list changes.
+        self._select_flags: dict = {}
+        self._select_flags_generation = -1
 
     # ------------------------------------------------------------------
     # Clock and channel management
@@ -117,14 +124,33 @@ class SimReader:
         self, antenna_index: int, selects: Sequence[Select]
     ) -> List[int]:
         """Tag indices that will contend: in range, present, SL-selected."""
-        in_range = self.scene.tags_in_range(antenna_index, self.time_s)
+        scene = self.scene
+        in_range = scene.tags_in_range(antenna_index, self.time_s)
         if not selects:
             # No Select => every in-range tag participates (SL unfiltered);
             # skip materialising the memory-bank views entirely.
             return list(in_range)
-        matchables = [self.scene.tags[i].matchable() for i in in_range]
-        flags = apply_selects(list(selects), matchables)
-        return [idx for idx, flag in zip(in_range, flags) if flag]
+        if self._select_flags_generation != scene.generation:
+            self._select_flags = {}
+            self._select_flags_generation = scene.generation
+        key = tuple(selects)
+        flags = self._select_flags.get(key)
+        if flags is None:
+            flags = self._select_flags[key] = {}
+        out: List[int] = []
+        select_list = None
+        tags = scene.tags
+        for idx in in_range:
+            flag = flags.get(idx)
+            if flag is None:
+                if select_list is None:
+                    select_list = list(selects)
+                flag = flags[idx] = apply_selects(
+                    select_list, (tags[idx].matchable(),)
+                )[0]
+            if flag:
+                out.append(idx)
+        return out
 
     def inventory_round(
         self,
@@ -181,16 +207,15 @@ class SimReader:
         # the round starts); it simply stops responding, so its pending read
         # produces no report.
         scene = self.scene
-        present = [
-            read
-            for read in log.reads
-            if scene.is_tag_present(read.tag_index, read.time_s)
-        ]
+        present_ids: List[int] = []
+        present_times: List[float] = []
+        is_present = scene.is_tag_present
+        for read in log.reads:
+            if is_present(read.tag_index, read.time_s):
+                present_ids.append(read.tag_index)
+                present_times.append(read.time_s)
         observations = scene.observe_batch(
-            [read.tag_index for read in present],
-            antenna_index,
-            channel,
-            [read.time_s for read in present],
+            present_ids, antenna_index, channel, present_times
         )
         if self._report_callbacks:
             for obs in observations:

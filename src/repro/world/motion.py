@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import abc
 import bisect
+import math
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,11 +28,35 @@ class Trajectory(abc.ABC):
     def position(self, t: float) -> np.ndarray:
         """(3,) position at time ``t`` (seconds)."""
 
+    def position_xyz(self, t: float) -> Tuple[float, float, float]:
+        """``position(t)`` as plain floats, bit-identical component-wise.
+
+        Hot geometry paths (range checks, direct-path distances) use this
+        to stay scalar; subclasses whose arithmetic is expressible with
+        scalar libm calls override it without the array construction.
+        """
+        x, y, z = self.position(t).tolist()
+        return x, y, z
+
     def is_moving_at(self, t: float, eps: float = 1e-4) -> bool:
         """Ground-truth motion flag: is the object displacing around ``t``?"""
         before = self.position(max(0.0, t - 0.05))
         after = self.position(t + 0.05)
         return float(np.linalg.norm(after - before)) > eps
+
+    def distance_bounds(
+        self, point: PointLike
+    ) -> Optional[Tuple[float, float]]:
+        """Conservative ``(min, max)`` distance from ``point`` to any
+        position this trajectory can ever occupy, or ``None`` if unbounded.
+
+        Used to constant-fold per-round antenna range checks: a trajectory
+        whose maximum distance is safely inside (or minimum safely outside)
+        an antenna's range never needs a per-``t`` position evaluation.
+        Bounds need not be tight — only sound — so subclasses may return
+        ``0.0`` as the lower bound when the true minimum is awkward.
+        """
+        return None
 
     def instantaneous_speed(self, t: float, dt: float = 0.01) -> float:
         """Finite-difference speed estimate at time ``t`` (m/s).
@@ -53,8 +78,16 @@ class Stationary(Trajectory):
     def position(self, t: float) -> np.ndarray:
         return self._position.copy()
 
+    def position_xyz(self, t: float) -> Tuple[float, float, float]:
+        x, y, z = self._position.tolist()
+        return x, y, z
+
     def is_moving_at(self, t: float, eps: float = 1e-4) -> bool:
         return False
+
+    def distance_bounds(self, point: PointLike) -> Tuple[float, float]:
+        d = float(np.linalg.norm(as_point(point) - self._position))
+        return d, d
 
 
 class LinearPath(Trajectory):
@@ -69,6 +102,12 @@ class LinearPath(Trajectory):
 
     def position(self, t: float) -> np.ndarray:
         return self.start + self.velocity * (t - self.t0)
+
+    def position_xyz(self, t: float) -> Tuple[float, float, float]:
+        dt = t - self.t0
+        sx, sy, sz = self.start.tolist()
+        vx, vy, vz = self.velocity.tolist()
+        return sx + vx * dt, sy + vy * dt, sz + vz * dt
 
 
 class CircularPath(Trajectory):
@@ -96,15 +135,36 @@ class CircularPath(Trajectory):
         self.start_time = start_time
 
     def position(self, t: float) -> np.ndarray:
+        return np.array(self.position_xyz(t))
+
+    def position_xyz(self, t: float) -> Tuple[float, float, float]:
         elapsed = max(0.0, t - self.start_time)
         angle = self.phase0 + self.speed * elapsed / self.radius
-        offset = np.array(
-            [self.radius * np.cos(angle), self.radius * np.sin(angle), 0.0]
+        # Scalar libm cos/sin round identically to the numpy ufuncs for
+        # every finite double (machine-checked in the test suite), so each
+        # component is the exact sum the vectorised form would produce.
+        cx, cy, cz = self.center.tolist()
+        return (
+            cx + self.radius * math.cos(angle),
+            cy + self.radius * math.sin(angle),
+            cz + 0.0,
         )
-        return self.center + offset
 
     def is_moving_at(self, t: float, eps: float = 1e-4) -> bool:
         return self.speed != 0.0 and t > self.start_time
+
+    def distance_bounds(self, point: PointLike) -> Tuple[float, float]:
+        # Every reachable position lies on the circle, so the distance from
+        # ``point`` ranges over [hypot(|rho - r|, dz), hypot(rho + r, dz)]
+        # with rho the horizontal point-to-centre distance.
+        px, py, pz = as_point(point).tolist()
+        cx, cy, cz = self.center.tolist()
+        rho = math.hypot(px - cx, py - cy)
+        dz = pz - cz
+        return (
+            math.hypot(abs(rho - self.radius), dz),
+            math.hypot(rho + self.radius, dz),
+        )
 
 
 class TurntablePath(CircularPath):
@@ -161,6 +221,15 @@ class ConveyorPath(Trajectory):
     def is_moving_at(self, t: float, eps: float = 1e-4) -> bool:
         return self.enter_time < t < self.exit_time
 
+    def distance_bounds(self, point: PointLike) -> Tuple[float, float]:
+        # Distance along a straight segment is convex: max at an endpoint.
+        p = as_point(point)
+        hi = max(
+            float(np.linalg.norm(p - self.start)),
+            float(np.linalg.norm(p - self.end)),
+        )
+        return 0.0, hi
+
 
 class StepDisplacement(Trajectory):
     """Stationary, then an instantaneous displacement at ``step_time``.
@@ -203,6 +272,12 @@ class StepDisplacement(Trajectory):
     def is_moving_at(self, t: float, eps: float = 1e-4) -> bool:
         return abs(t - self.step_time) <= 0.05
 
+    def distance_bounds(self, point: PointLike) -> Tuple[float, float]:
+        p = as_point(point)
+        d0 = float(np.linalg.norm(p - self.before))
+        d1 = float(np.linalg.norm(p - self.after))
+        return min(d0, d1), max(d0, d1)
+
 
 class WaypointPath(Trajectory):
     """Piecewise-linear interpolation through timestamped waypoints."""
@@ -225,6 +300,12 @@ class WaypointPath(Trajectory):
         t0, t1 = self.times[idx], self.times[idx + 1]
         frac = (t - t0) / (t1 - t0)
         return self.points[idx] + (self.points[idx + 1] - self.points[idx]) * frac
+
+    def distance_bounds(self, point: PointLike) -> Tuple[float, float]:
+        # Piecewise-linear: per-segment maxima sit at the waypoints.
+        p = as_point(point)
+        hi = max(float(np.linalg.norm(p - q)) for q in self.points)
+        return 0.0, hi
 
 
 class RandomWaypointWalk(WaypointPath):

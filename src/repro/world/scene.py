@@ -7,6 +7,7 @@ observation does tag i produce on antenna k / channel c at time t?*
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -20,7 +21,12 @@ from repro.radio.channel import (
     path_geometry,
 )
 from repro.radio.constants import ChannelPlan, single_channel
-from repro.radio.geometry import PointLike, as_point, distance
+from repro.radio.geometry import (
+    PointLike,
+    as_point,
+    distance,
+    squared_distance_xyz,
+)
 from repro.radio.measurement import (
     NoiseModel,
     TagObservation,
@@ -127,11 +133,18 @@ class Scene:
         self._lo_offsets = lo_rng.uniform(
             0.0, TWO_PI, size=(len(self.antennas), len(self.channel_plan))
         )
+        # Plain-float mirror for the hot lookup (same values; ``tolist``
+        # preserves every bit of the float64 entries).
+        self._lo_float = self._lo_offsets.tolist()
         self._epc_to_index: Dict[int, int] = {}
+        #: Bumped whenever the tag list changes; lets callers key caches of
+        #: per-tag derived state (e.g. Select match flags) safely.
+        self.generation = 0
         self._reindex()
 
     # ------------------------------------------------------------------
     def _reindex(self) -> None:
+        self.generation += 1
         self._epc_to_index = {
             tag.epc.value: i for i, tag in enumerate(self.tags)
         }
@@ -162,6 +175,9 @@ class Scene:
             for tag in self.tags
         ]
         self._static_in_range: Dict[int, frozenset] = {}
+        #: antenna -> (fixed members, per-t checks, antenna position as
+        #: floats); see ``_range_entries``.
+        self._range_entries_cache: Dict[int, Tuple[List[int], list, tuple]] = {}
         #: (tag, antenna, channel) -> deterministic (phase, RSS) bases.
         self._gain_cache: Dict[Tuple[int, int, int], Tuple[float, float]] = {}
         #: (tag, antenna) -> channel-independent path geometry; shared by all
@@ -169,6 +185,11 @@ class Scene:
         self._geom_cache: Dict[Tuple[int, int], object] = {}
         self._env_static: Optional[bool] = None
         self._static_reflectors: Optional[List[Reflector]] = None
+        #: Antenna positions as plain float tuples (``tolist`` is exact), so
+        #: per-read geometry for moving tags skips the ndarray unpacking.
+        self._antenna_xyz = [
+            tuple(antenna.position.tolist()) for antenna in self.antennas
+        ]
 
     def add_tag(self, tag: TagInstance) -> int:
         """Add a tag; returns its index."""
@@ -189,10 +210,9 @@ class Scene:
     # ------------------------------------------------------------------
     def lo_offset(self, antenna_index: int, channel_index: int) -> float:
         """The reader's LO phase reference for one (antenna, channel)."""
-        return float(
-            self._lo_offsets[antenna_index % len(self.antennas)]
-            [channel_index % len(self.channel_plan)]
-        )
+        return self._lo_float[antenna_index % len(self.antennas)][
+            channel_index % len(self.channel_plan)
+        ]
 
     def reflectors_at(self, t: float) -> List[Reflector]:
         """Positions of all ambient scatterers at time ``t``."""
@@ -237,24 +257,87 @@ class Scene:
             self._static_in_range[antenna_index] = cached
         return cached
 
+    def _range_entries(self, antenna_index: int) -> Tuple[List[int], list]:
+        """Split one antenna's tag list into t-independent and t-dependent
+        parts (cached; tags/antennas are fixed between ``_reindex`` calls).
+
+        Returns ``(fixed, checks, apos_xyz)``: ``fixed`` are indices of
+        never-absent tags provably inside the antenna's range at every
+        ``t`` — they participate in every round without any per-call work —
+        ``checks`` holds ``(index, tag, skip_range)`` for tags whose
+        membership depends on ``t``, where ``skip_range`` marks tags that
+        only need the presence check (stationary in range, or mobile with a
+        whole-trajectory distance bound inside the range), and ``apos_xyz``
+        is the antenna position as plain floats for the scalar distance
+        check.  Tags provably out of range at every ``t`` are dropped
+        entirely.  Mobile-tag classification uses
+        :meth:`~repro.world.motion.Trajectory.distance_bounds` with a 1e-9
+        relative guard band, so only trajectories whose bound clears the
+        range by more than any possible floating-point disagreement with
+        the per-``t`` check are folded; everything inside the band keeps
+        the exact per-round check.
+        """
+        cached = self._range_entries_cache.get(antenna_index)
+        if cached is None:
+            static_reachable = self._static_tags_in_range(antenna_index)
+            antenna = self.antennas[antenna_index]
+            range_m = antenna.range_m
+            guard = 1e-9 * (range_m + 1.0)
+            fixed: List[int] = []
+            checks: list = []
+            for i, tag in enumerate(self.tags):
+                if self._tag_static[i]:
+                    if i not in static_reachable:
+                        continue
+                    if self._always_present[i]:
+                        fixed.append(i)
+                    else:
+                        checks.append((i, tag, True))
+                    continue
+                bounds = tag.trajectory.distance_bounds(antenna.position)
+                if bounds is not None:
+                    lo, hi = bounds
+                    if hi + guard < range_m:
+                        if self._always_present[i]:
+                            fixed.append(i)
+                        else:
+                            checks.append((i, tag, True))
+                        continue
+                    if lo - guard > range_m:
+                        continue
+                checks.append((i, tag, False))
+            apos_xyz = tuple(self.antennas[antenna_index].position.tolist())
+            cached = (fixed, checks, apos_xyz)
+            self._range_entries_cache[antenna_index] = cached
+        return cached
+
     def tags_in_range(self, antenna_index: int, t: float) -> List[int]:
         """Indices of present tags that antenna ``antenna_index`` can power."""
-        antenna = self.antennas[antenna_index]
-        static_reachable = self._static_tags_in_range(antenna_index)
-        always_present = self._always_present
-        out = []
-        for i, tag in enumerate(self.tags):
-            if self._tag_static[i]:
-                if i in static_reachable and (
-                    always_present[i] or tag.is_present(t)
-                ):
-                    out.append(i)
-                continue
+        fixed, checks, apos_xyz = self._range_entries(antenna_index)
+        if not checks:
+            return list(fixed)
+        ax, ay, az = apos_xyz
+        range_m = self.antennas[antenna_index].range_m
+        extra: List[int] = []
+        for i, tag, skip_range in checks:
             if not tag.is_present(t):
                 continue
-            if distance(antenna.position, tag.trajectory.position(t)) <= antenna.range_m:
-                out.append(i)
-        return out
+            if skip_range:
+                extra.append(i)
+                continue
+            # Inlined ``distance``, scalar end to end: the component
+            # subtractions are the same IEEE ops numpy would apply
+            # elementwise, and ``squared_distance_xyz`` reproduces
+            # ``np.dot(d, d)`` bit for bit.
+            px, py, pz = tag.trajectory.position_xyz(t)
+            d2 = squared_distance_xyz(ax - px, ay - py, az - pz)
+            if math.sqrt(d2) <= range_m:
+                extra.append(i)
+        if not extra:
+            return list(fixed)
+        if not fixed:
+            return extra
+        return sorted(fixed + extra)
 
     def observe(
         self,
@@ -319,12 +402,23 @@ class Scene:
                 self._geom_cache[geom_key] = geometry
             gain = backscatter_gain_from_geometry(geometry, freq)
         else:
-            gain = backscatter_gain(
-                antenna.position,
-                tag.trajectory.position(t),
-                freq,
-                self._reflectors_for(t),
-            )
+            reflectors = self._reflectors_for(t)
+            if reflectors:
+                gain = backscatter_gain(
+                    antenna.position, tag.trajectory.position(t), freq,
+                    reflectors,
+                )
+            else:
+                # Reflector-free moving tag (the Fig 18 turntables): the
+                # geometry is just the direct-path distance, computed
+                # scalar end to end (identical arithmetic, see
+                # ``tags_in_range``).
+                px, py, pz = tag.trajectory.position_xyz(t)
+                ax, ay, az = self._antenna_xyz[antenna_index]
+                d_direct = math.sqrt(
+                    squared_distance_xyz(ax - px, ay - py, az - pz)
+                )
+                gain = backscatter_gain_from_geometry((d_direct, ()), freq)
         bases = measurement_bases(
             gain,
             tag.phase_offset_rad,
@@ -353,22 +447,38 @@ class Scene:
         out absent tags; presence is not re-checked here.
         """
         bases_for = self._measurement_bases_for
-        bases_list = [
-            bases_for(tag_index, antenna_index, channel_index, t)
-            for tag_index, t in zip(tag_indices, times)
-        ]
+        if self._environment_static():
+            # Hit path inlined: for a stationary tag in a static environment
+            # the bases are a pure cache lookup (same key and values as
+            # ``_measurement_bases_for``; misses fall through to it).
+            cache = self._gain_cache
+            static = self._tag_static
+            bases_list = [
+                (
+                    cache.get((tag_index, antenna_index, channel_index))
+                    if static[tag_index]
+                    else None
+                )
+                or bases_for(tag_index, antenna_index, channel_index, t)
+                for tag_index, t in zip(tag_indices, times)
+            ]
+        else:
+            bases_list = [
+                bases_for(tag_index, antenna_index, channel_index, t)
+                for tag_index, t in zip(tag_indices, times)
+            ]
         pairs = measure_many_from_bases(
             bases_list, self.noise, self._measure_rng
         )
         tags = self.tags
         return [
             TagObservation(
-                epc=tags[tag_index].epc,
-                time_s=t,
-                phase_rad=phase,
-                rss_dbm=rss,
-                antenna_index=antenna_index,
-                channel_index=channel_index,
+                tags[tag_index].epc,
+                t,
+                phase,
+                rss,
+                antenna_index,
+                channel_index,
             )
             for (tag_index, t), (phase, rss) in zip(
                 zip(tag_indices, times), pairs

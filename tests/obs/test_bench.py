@@ -8,6 +8,8 @@ import pytest
 from repro.obs import Tracer, use_tracer, validate_chrome_trace, to_chrome_trace
 from repro.obs.bench import (
     WORKLOADS,
+    BenchResult,
+    _analyze,
     format_report,
     run_bench,
     write_bench,
@@ -52,8 +54,9 @@ def test_write_bench_json_shape(fig02_result, tmp_path):
     assert data["name"] == "fig02"
     assert set(data) == {
         "name", "scale", "wall_s", "sim_s", "slots_per_wall_s",
-        "breakdown", "counts", "workload",
+        "startup_cpu_share", "breakdown", "counts", "workload",
     }
+    assert 0.0 <= data["startup_cpu_share"] <= 1.0
     assert data["counts"]["rounds"] == fig02_result.counts["rounds"]
 
 
@@ -70,6 +73,78 @@ def test_bench_reuses_ambient_tracer():
     assert result.counts["rounds"] > 0
     assert len(tracer.records) > 0  # the session trace kept the records
     assert validate_chrome_trace(to_chrome_trace(tracer)) == []
+
+
+# ----------------------------------------------------------------------
+# Trace-reduction accounting (no double counting)
+# ----------------------------------------------------------------------
+def _round(tracer, start, end, startup, n_slots=10):
+    span = tracer.begin("round", t=start, category="gen2",
+                        startup_s=startup, n_slots=n_slots, n_frames=1)
+    tracer.end(span, t=end)
+
+
+def test_analyze_breakdown_sums_to_sim_s():
+    """Rounds tiling a window must account for every simulated second once.
+
+    ``slot_s + round_startup_s`` is the exact span total — no interval is
+    counted twice and none is dropped — so for a trace that is nothing but
+    back-to-back rounds the budget lines sum to ``sim_s`` bit for bit.
+    """
+    tracer = Tracer()
+    _round(tracer, 0.0, 1.0, startup=0.2)
+    _round(tracer, 1.0, 2.5, startup=0.3)
+    _round(tracer, 2.5, 3.0, startup=0.1)
+    analysis = _analyze(tracer.records)
+    breakdown = analysis["breakdown"]
+    assert analysis["sim_s"] == 3.0
+    assert breakdown["round_startup_s"] + breakdown["slot_s"] == analysis["sim_s"]
+    assert breakdown["round_startup_s"] == 0.2 + 0.3 + 0.1
+
+
+def test_analyze_clamps_startup_of_truncated_rounds():
+    """A round cut short mid-start-up must not bill more than its span."""
+    tracer = Tracer()
+    _round(tracer, 0.0, 0.1, startup=0.5)  # truncated inside startup
+    analysis = _analyze(tracer.records)
+    breakdown = analysis["breakdown"]
+    assert breakdown["round_startup_s"] == 0.1
+    assert breakdown["slot_s"] == 0.0
+    assert breakdown["round_startup_s"] + breakdown["slot_s"] == analysis["sim_s"]
+
+
+def test_analyze_excludes_select_events_nested_in_rounds():
+    """Select cost inside a round span is already covered by the span."""
+    tracer = Tracer()
+    # Reader-style: select fires outside the engine's round span -> counted.
+    outer = tracer.begin("inventory_round", t=0.0, category="reader")
+    tracer.event("select", t=0.0, category="gen2", extra_cost_s=0.25)
+    _round(tracer, 0.25, 1.0, startup=0.1)
+    tracer.end(outer, t=1.0)
+    # Foreign-style: select fires *inside* a round span -> excluded.
+    span = tracer.begin("round", t=1.0, category="gen2",
+                        startup_s=0.1, n_slots=5, n_frames=1)
+    tracer.event("select", t=1.0, category="gen2", extra_cost_s=0.75)
+    tracer.end(span, t=2.0)
+    analysis = _analyze(tracer.records)
+    assert analysis["breakdown"]["select_extra_s"] == 0.25
+    assert analysis["counts"]["selects"] == 2
+
+
+def test_startup_cpu_share_derivation():
+    result = BenchResult(
+        name="x", scale="smoke", wall_s=1.0, sim_s=4.0,
+        breakdown={"round_startup_s": 1.0, "slot_s": 3.0},
+        counts={"slots": 100},
+    )
+    assert result.startup_cpu_share == 0.25
+    assert result.slots_per_wall_s == 100.0
+    empty = BenchResult(
+        name="x", scale="smoke", wall_s=0.0, sim_s=0.0,
+        breakdown={}, counts={},
+    )
+    assert empty.startup_cpu_share == 0.0
+    assert empty.slots_per_wall_s == 0.0
 
 
 def _time_fig02(repeats=3):

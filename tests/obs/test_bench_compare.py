@@ -1,0 +1,96 @@
+"""Bench regression gate: throughput ratio and orchestration-share checks."""
+
+from repro.obs.bench import BenchResult
+from repro.obs.bench_compare import (
+    BenchComparison,
+    CompareReport,
+    compare_result,
+    format_compare,
+    load_baseline,
+)
+
+
+def _result(slots=1000, wall=1.0, startup=1.0, slot=3.0):
+    return BenchResult(
+        name="fig18",
+        scale="smoke",
+        wall_s=wall,
+        sim_s=startup + slot,
+        breakdown={"round_startup_s": startup, "slot_s": slot},
+        counts={"slots": slots},
+    )
+
+
+def test_load_baseline_missing(tmp_path):
+    assert load_baseline("fig18", str(tmp_path)) is None
+
+
+def test_throughput_gate_tolerates_noise_but_fails_on_regression():
+    c = BenchComparison(
+        name="fig18",
+        baseline_slots_per_s=1000.0,
+        current_slots_per_s=800.0,
+        max_regression=0.25,
+    )
+    assert not c.regressed  # -20% is inside the 25% allowance
+    c.current_slots_per_s = 700.0
+    assert c.throughput_regressed and c.regressed
+
+
+def test_share_gate_fails_on_orchestration_growth():
+    c = BenchComparison(
+        name="fig18",
+        baseline_slots_per_s=1000.0,
+        current_slots_per_s=1000.0,
+        max_regression=0.25,
+        baseline_startup_share=0.50,
+        current_startup_share=0.58,
+        max_share_increase=0.05,
+    )
+    assert not c.throughput_regressed
+    assert c.share_regressed and c.regressed
+    c.current_startup_share = 0.54  # inside the allowance
+    assert not c.regressed
+
+
+def test_share_gate_skipped_without_baseline_share():
+    c = BenchComparison(
+        name="fig18",
+        baseline_slots_per_s=1000.0,
+        current_slots_per_s=1000.0,
+        max_regression=0.25,
+        baseline_startup_share=None,
+        current_startup_share=0.99,
+    )
+    assert not c.share_regressed
+
+
+def test_compare_result_reads_share_from_baseline():
+    baseline = _result(slots=1000, wall=1.0, startup=1.0, slot=3.0).to_dict()
+    current = _result(slots=1000, wall=1.0, startup=1.0, slot=3.0)
+    c = compare_result(baseline, current)
+    assert c.baseline_startup_share == 0.25
+    assert c.current_startup_share == 0.25
+    assert not c.regressed
+
+
+def test_compare_result_reconstructs_share_from_old_baseline():
+    """Baselines that predate ``startup_cpu_share`` still arm the gate."""
+    baseline = _result().to_dict()
+    del baseline["startup_cpu_share"]
+    current = _result(startup=3.0, slot=1.0)  # share 0.25 -> 0.75
+    c = compare_result(baseline, current)
+    assert c.baseline_startup_share == 0.25
+    assert c.share_regressed
+
+
+def test_format_compare_reports_share_and_verdict():
+    report = CompareReport(
+        comparisons=[
+            compare_result(_result().to_dict(), _result(startup=3.0, slot=1.0))
+        ]
+    )
+    text = format_compare(report)
+    assert "startup share" in text
+    assert "REGRESSED (startup share)" in text
+    assert "FAIL" in text

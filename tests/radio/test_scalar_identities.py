@@ -1,0 +1,86 @@
+"""Machine-checks for the scalar fast paths' bit-identity claims.
+
+Several hot paths replace numpy ufunc calls with scalar libm arithmetic
+(``motion.position_xyz``, ``geometry.squared_distance_xyz``, the echo-free
+branch of ``channel.one_way_gain_from_geometry``, the mixture's circular
+distance).  Each replacement rests on a platform identity — libm rounds the
+same as the ufunc, numpy's 3-dot contracts with FMA — and the source
+docstrings promise those identities are machine-checked here.  The samples
+are deterministic so a failure reproduces exactly.
+"""
+
+import math
+
+import numpy as np
+
+from repro.core.gmm import _circular_distance_scalar
+from repro.radio.channel import (
+    backscatter_gain_from_geometry,
+    one_way_gain_from_geometry,
+    path_loss_amplitude,
+)
+from repro.radio.constants import wavelength
+from repro.radio.geometry import squared_distance_xyz
+from repro.util.circular import TWO_PI, circular_distance
+from repro.world.motion import CircularPath, LinearPath, Stationary
+
+RNG = np.random.default_rng(20260809)
+
+
+def test_scalar_cos_sin_match_numpy_ufuncs():
+    angles = RNG.uniform(-1000.0, 1000.0, 5000)
+    cos_ref = np.cos(angles)
+    sin_ref = np.sin(angles)
+    for a, c, s in zip(angles.tolist(), cos_ref.tolist(), sin_ref.tolist()):
+        assert math.cos(a) == c
+        assert math.sin(a) == s
+
+
+def test_squared_distance_matches_np_dot():
+    for row in RNG.normal(scale=5.0, size=(2000, 3)):
+        x, y, z = row.tolist()
+        assert squared_distance_xyz(x, y, z) == float(np.dot(row, row))
+
+
+def test_scalar_one_way_gain_matches_numpy_chain():
+    for d, f in zip(
+        RNG.uniform(0.05, 20.0, 2000).tolist(),
+        RNG.uniform(860e6, 960e6, 2000).tolist(),
+    ):
+        lam = wavelength(f)
+        ref = complex(
+            path_loss_amplitude(d, lam) * np.exp(-2j * np.pi * d / lam)
+        )
+        assert one_way_gain_from_geometry((d, ()), f) == ref
+        assert backscatter_gain_from_geometry((d, ()), f) == ref * ref
+
+
+def test_scalar_gain_with_echoes_unchanged():
+    geometry = (1.5, ((0.4, 2.25), (0.2, 3.75)))
+    lam = wavelength(915e6)
+    g = path_loss_amplitude(1.5, lam) * np.exp(-2j * np.pi * 1.5 / lam)
+    for coeff, d in geometry[1]:
+        g += coeff * path_loss_amplitude(d, lam) * np.exp(-2j * np.pi * d / lam)
+    assert one_way_gain_from_geometry(geometry, 915e6) == complex(g)
+
+
+def test_position_xyz_matches_position_componentwise():
+    trajectories = [
+        Stationary((1.25, -0.5, 0.75)),
+        LinearPath((0.0, 1.0, 0.5), (0.3, -0.2, 0.1), t0=0.25),
+        CircularPath(center=(2.0, 3.0, 1.0), radius=0.7, speed=1.3,
+                     phase0=0.4, start_time=0.1),
+    ]
+    for trajectory in trajectories:
+        for t in RNG.uniform(0.0, 100.0, 500).tolist():
+            assert trajectory.position_xyz(t) == tuple(
+                trajectory.position(t).tolist()
+            )
+
+
+def test_circular_distance_scalar_matches_ndarray_helper():
+    values = RNG.uniform(-4.0 * TWO_PI, 4.0 * TWO_PI, 2000)
+    for a, b in zip(values.tolist(), values[::-1].tolist()):
+        assert _circular_distance_scalar(a, b) == float(
+            circular_distance(a, b)
+        )
