@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest underneath.
 
-.PHONY: install test test-faults test-runtime test-site bench bench-smoke bench-micro bench-compare bench-refresh soak soak-smoke site-smoke examples reproduce clean
+.PHONY: install test test-faults test-runtime test-site bench bench-smoke bench-micro bench-compare bench-refresh soak soak-smoke site-smoke health-smoke examples reproduce clean
 
 install:
 	python setup.py develop
@@ -58,6 +58,21 @@ soak-smoke:
 site-smoke:
 	python -m repro site --readers 4 --tags 1000 --duration 0.5 \
 		--workers 4 --check-differential --out site_run.json
+
+# Health smoke: a supervised run with every antenna blacked out for one
+# 30 s window.  The forced outage must escalate exactly once, cutting
+# exactly one incident bundle; the health CLI schema-validates each
+# bundle before exiting (nonzero on any validation problem).
+health-smoke:
+	rm -rf health_bundles
+	python -m repro health --cycles 40 \
+		--blackout 0:15:45 --blackout 1:15:45 \
+		--blackout 2:15:45 --blackout 3:15:45 \
+		--bundle-dir health_bundles --out health_report.json
+	python -c "from repro.obs.health import list_bundles; \
+		cut = list_bundles('health_bundles'); \
+		assert len(cut) == 1, [p.name for p in cut]; \
+		print('health smoke OK: one bundle, ' + cut[0].name)"
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; python $$script; done

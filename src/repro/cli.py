@@ -28,6 +28,12 @@ Commands
     churn, middleware kills, checkpoint corruption — with runtime
     invariants checked after every cycle.  Exits non-zero on any
     violation (see ``docs/robustness.md``).
+``health [--cycles N --blackout A:S:E --bundle-dir D --watch]``
+    Run a supervised deployment with the flight recorder attached and
+    print the JSON health report: per-SLO burn-rate verdicts, rolling
+    IRR/staleness statistics, client state, and any incident bundles cut
+    (each validated before exit).  ``--watch`` streams a one-line status
+    per cycle (see ``docs/observability.md``).
 ``site [--readers N --tags N --workers W --check-differential]``
     Simulate a multi-reader warehouse site (overlapping coverage, channel
     coordination, reader-to-reader interference) sharded across the
@@ -418,6 +424,7 @@ def cmd_soak(args: argparse.Namespace) -> int:
         jam_every=args.jam_every,
         blackout_every=args.blackout_every,
         checkpoint_dir=args.checkpoint_dir or None,
+        bundle_dir=args.bundle_dir or None,
     )
     if args.runs > 1:
         reports = soak.run_many(config, runs=args.runs, workers=args.workers)
@@ -494,6 +501,13 @@ def cmd_site(args: argparse.Namespace) -> int:
         code = 1
     else:
         _log.info("site invariants: ok")
+    health = run.health_report()
+    _log.info(
+        f"site health: {health['status']} — fusion redundancy "
+        f"{health['fusion']['redundancy']:.2f}x "
+        f"(budget {health['policy']['redundancy_budget']:.0f}x), "
+        f"{health['n_slo_alerts']} SLO alert(s)"
+    )
     if args.check_differential:
         reference = simulate_site(config, workers=1)
         if reference.canonical_bytes() != run.canonical_bytes():
@@ -511,6 +525,103 @@ def cmd_site(args: argparse.Namespace) -> int:
         with open(args.out, "wb") as handle:
             handle.write(run.canonical_bytes())
         _log.info(f"wrote {args.out}")
+    return code
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Run a supervised deployment scored live against the health SLOs."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.faults import FaultPlan
+    from repro.obs.health import (
+        FlightRecorder,
+        HealthMonitor,
+        list_bundles,
+        validate_bundle,
+    )
+    from repro.runtime import (
+        CheckpointStore,
+        Supervisor,
+        SupervisorConfig,
+        WatchdogPolicy,
+    )
+
+    plan = (
+        FaultPlan(report_loss=args.loss, blackouts=tuple(args.blackout))
+        if args.blackout or args.loss
+        else None
+    )
+    setup = build_lab(
+        n_tags=args.tags,
+        n_mobile=args.mobile,
+        seed=args.seed,
+        fault_plan=plan,
+    )
+    recorder = FlightRecorder(capacity_cycles=args.flight_capacity)
+    health = HealthMonitor(
+        recorder=recorder,
+        incident_dir=args.bundle_dir or None,
+        watch_epcs=setup.mobile_epc_values,
+        scene=setup.scene,
+        metrics=setup.metrics,
+    )
+    store = CheckpointStore(
+        Path(tempfile.mkdtemp(prefix="repro-health-ckpt-")) / "health.ckpt"
+    )
+    supervisor = Supervisor(
+        lambda: setup.tagwatch(
+            TagwatchConfig(
+                phase2_duration_s=args.phase2,
+                min_phase1_fraction=0.5,
+                population_grace_cycles=2,
+            )
+        ),
+        config=SupervisorConfig(watchdog=WatchdogPolicy()),
+        store=store,
+        health=health,
+    )
+    mode = supervisor.start()
+    if mode == "cold" and args.warmup > 0:
+        assert supervisor.tagwatch is not None
+        supervisor.tagwatch.warm_up(args.warmup)
+    with use_tracer(recorder):
+        for i in range(args.cycles):
+            supervised = supervisor.run_cycle()
+            if args.watch:
+                verdicts = health.engine.verdicts()
+                worst = min(
+                    (v["compliance"] for v in verdicts.values()),
+                    default=1.0,
+                )
+                _log.info(
+                    f"cycle {supervised.index:>4}  "
+                    f"t={setup.reader.time_s:8.1f}s  "
+                    f"status={health.status:<8}  "
+                    f"worst-slo={worst:.4f}  "
+                    f"alerts={health.engine.n_alerts}  "
+                    f"incidents={len(health.incidents)}"
+                )
+    report = health.report()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        _log.info(f"wrote {args.out}")
+    else:
+        _log.info(json.dumps(report, indent=2, sort_keys=True))
+    code = 0
+    if args.bundle_dir:
+        bundles = list_bundles(args.bundle_dir)
+        for path in bundles:
+            problems = validate_bundle(path)
+            if problems:
+                for problem in problems:
+                    _log.error(f"{path.name}: {problem}")
+                code = 1
+        _log.info(
+            f"{len(bundles)} incident bundle(s) in {args.bundle_dir}"
+            + ("" if code == 0 else " — validation FAILED")
+        )
     return code
 
 
@@ -751,6 +862,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint directory (default: a fresh temp directory)",
     )
     p_soak.add_argument(
+        "--bundle-dir", default="",
+        help="cut incident bundles here (enables the flight recorder)",
+    )
+    p_soak.add_argument(
         "--out", default="", help="write the JSON soak report here"
     )
     p_soak.add_argument(
@@ -793,6 +908,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_site.add_argument(
         "--out", default="", help="write the canonical site payload here"
+    )
+
+    p_health = sub.add_parser(
+        "health",
+        help="run a supervised deployment and print its SLO health report",
+        parents=obs_parents,
+    )
+    p_health.add_argument("--cycles", type=int, default=60)
+    p_health.add_argument("--tags", type=int, default=12)
+    p_health.add_argument("--mobile", type=int, default=2)
+    p_health.add_argument("--seed", type=int, default=0)
+    p_health.add_argument("--phase2", type=float, default=1.0)
+    p_health.add_argument("--warmup", type=float, default=10.0)
+    p_health.add_argument(
+        "--loss", type=float, default=0.0,
+        help="iid report-loss probability running in the background",
+    )
+    p_health.add_argument(
+        "--blackout", type=_parse_blackout, action="append", default=[],
+        metavar="ANT:START:END", help="antenna outage window (repeatable)",
+    )
+    p_health.add_argument(
+        "--bundle-dir", default="",
+        help="cut incident bundles here (validated before exit)",
+    )
+    p_health.add_argument(
+        "--flight-capacity", type=int, default=32,
+        help="cycles of trace history the flight recorder retains",
+    )
+    p_health.add_argument(
+        "--watch", action="store_true",
+        help="stream a one-line health status per cycle",
+    )
+    p_health.add_argument(
+        "--out", default="", help="write the JSON health report here"
     )
 
     p_bench = sub.add_parser(
@@ -866,6 +1016,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "bench-compare": cmd_bench_compare,
     "site": cmd_site,
     "soak": cmd_soak,
+    "health": cmd_health,
 }
 
 

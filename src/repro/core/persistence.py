@@ -176,13 +176,26 @@ def write_snapshot(
         "payload": payload,
     }
     document = json.dumps(envelope, sort_keys=True)
+    atomic_write_text(path, document)
+    return len(document)
+
+
+def atomic_write_text(path: PathLike, text: str) -> int:
+    """Write ``text`` atomically (temp + ``fsync`` + ``os.replace``).
+
+    The write path snapshots and incident bundles share: readers only ever
+    see either the previous complete file or the new complete file, never
+    a torn write.  Returns the byte length written.
+    """
+    path = Path(path)
+    data = text.encode("utf-8")
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(document)
+    with open(tmp, "wb") as handle:
+        handle.write(data)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
-    return len(document)
+    return len(data)
 
 
 def read_snapshot(

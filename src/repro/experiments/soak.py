@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import tempfile
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -38,6 +39,8 @@ from repro.core import TagwatchConfig
 from repro.experiments.harness import LabSetup, build_lab
 from repro.experiments.parallel import parallel_map, spawn_seeds
 from repro.faults import AntennaBlackout, ChannelJam, FaultPlan, ReaderCrash
+from repro.obs.health import FlightRecorder, HealthMonitor
+from repro.obs.tracer import use_tracer
 from repro.runtime import (
     CheckpointStore,
     InvariantSuite,
@@ -85,6 +88,11 @@ class SoakConfig:
     max_consecutive_unhealthy: int = 12
     #: Where checkpoint generations live (None: a fresh temp directory).
     checkpoint_dir: Optional[str] = None
+    #: Where incident bundles land (None disables flight recording; SLOs
+    #: are still scored and reported).
+    bundle_dir: Optional[str] = None
+    #: Flight-recorder depth when ``bundle_dir`` is set.
+    flight_capacity: int = 32
 
     def __post_init__(self) -> None:
         if self.n_cycles < 1:
@@ -146,10 +154,20 @@ class SoakReport:
     sim_duration_s: float
     wall_s: float
     fault_counters: Dict[str, float] = field(default_factory=dict)
+    #: Per-SLO burn-rate verdicts (see ``repro.obs.health.slo``).
+    slo: Dict[str, dict] = field(default_factory=dict)
+    n_slo_alerts: int = 0
+    n_incidents: int = 0
+    health_status: str = "ok"
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def slo_ok(self) -> bool:
+        """No burn-rate alert fired over the whole run."""
+        return self.n_slo_alerts == 0
 
     def to_dict(self) -> dict:
         """The report as a JSON-ready dict (what ``--out`` writes)."""
@@ -172,6 +190,11 @@ class SoakReport:
             "sim_duration_s": round(self.sim_duration_s, 6),
             "wall_s": round(self.wall_s, 3),
             "fault_counters": dict(self.fault_counters),
+            "slo": dict(self.slo),
+            "n_slo_alerts": self.n_slo_alerts,
+            "n_incidents": self.n_incidents,
+            "health_status": self.health_status,
+            "slo_ok": self.slo_ok,
             "ok": self.ok,
         }
 
@@ -286,6 +309,18 @@ def run(config: Optional[SoakConfig] = None) -> SoakReport:
         or tempfile.mkdtemp(prefix="repro-soak-ckpt-")
     )
     store = CheckpointStore(checkpoint_dir / "soak.ckpt", retain=config.retain)
+    recorder = (
+        FlightRecorder(capacity_cycles=config.flight_capacity)
+        if config.bundle_dir is not None
+        else None
+    )
+    health = HealthMonitor(
+        recorder=recorder,
+        incident_dir=config.bundle_dir,
+        watch_epcs=setup.mobile_epc_values,
+        scene=setup.scene,
+        metrics=setup.metrics,
+    )
     supervisor = Supervisor(
         lambda: setup.tagwatch(tagwatch_config),
         config=SupervisorConfig(
@@ -293,6 +328,7 @@ def run(config: Optional[SoakConfig] = None) -> SoakReport:
             watchdog=WatchdogPolicy(),
         ),
         store=store,
+        health=health,
     )
     mode = supervisor.start()
     if mode == "cold" and config.warmup_s > 0:
@@ -311,39 +347,54 @@ def run(config: Optional[SoakConfig] = None) -> SoakReport:
 
     n_healthy = n_fallback = n_kills = n_corruptions = crash_skips = 0
     escalations: Dict[str, int] = {}
-    for i in range(config.n_cycles):
-        if config.crash_every > 0 and i % config.crash_every == (
-            config.crash_every // 2
-        ):
-            lo, hi = config.crash_downtime_s
-            crash = ReaderCrash(
-                at_s=setup.reader.time_s + float(crash_rng.uniform(0.1, 2.0)),
-                downtime_s=float(crash_rng.uniform(lo, hi)),
-            )
-            try:
-                injector.schedule_crash(crash)
-            except ValueError:
-                crash_skips += 1  # previous crash window still open
-        if config.kill_every > 0 and i % config.kill_every == (
-            config.kill_every - 1
-        ):
-            supervisor.force_restart("soak kill")
-            n_kills += 1
-        if config.corrupt_every > 0 and i % config.corrupt_every == (
-            config.corrupt_every - 1
-        ):
-            if _corrupt_newest(store, corrupt_rng):
-                n_corruptions += 1
-        supervised = supervisor.run_cycle()
-        assert supervisor.tagwatch is not None
-        suite.check(supervised, supervisor.tagwatch)
-        if supervised.healthy:
-            n_healthy += 1
-        if supervised.result.fallback:
-            n_fallback += 1
-        if supervised.escalation.name != "HEALTHY":
-            name = supervised.escalation.name
-            escalations[name] = escalations.get(name, 0) + 1
+    # The flight recorder doubles as the run's tracer so escalation-time
+    # bundles hold real spans; without bundling the ambient tracer (a
+    # no-op by default) stays in charge and the soak is byte-identical to
+    # pre-health runs.
+    with use_tracer(recorder) if recorder is not None else nullcontext():
+        for i in range(config.n_cycles):
+            if config.crash_every > 0 and i % config.crash_every == (
+                config.crash_every // 2
+            ):
+                lo, hi = config.crash_downtime_s
+                crash = ReaderCrash(
+                    at_s=setup.reader.time_s
+                    + float(crash_rng.uniform(0.1, 2.0)),
+                    downtime_s=float(crash_rng.uniform(lo, hi)),
+                )
+                try:
+                    injector.schedule_crash(crash)
+                except ValueError:
+                    crash_skips += 1  # previous crash window still open
+            if config.kill_every > 0 and i % config.kill_every == (
+                config.kill_every - 1
+            ):
+                supervisor.force_restart("soak kill")
+                n_kills += 1
+            if config.corrupt_every > 0 and i % config.corrupt_every == (
+                config.corrupt_every - 1
+            ):
+                if _corrupt_newest(store, corrupt_rng):
+                    n_corruptions += 1
+            supervised = supervisor.run_cycle()
+            assert supervisor.tagwatch is not None
+            new_violations = suite.check(supervised, supervisor.tagwatch)
+            if new_violations:
+                health.incident(
+                    reason=new_violations[0].name,
+                    kind="invariant",
+                    t_s=setup.reader.time_s,
+                    cycle_index=supervised.index,
+                    config_hash=supervisor.config_hash,
+                    checkpoint_generation=supervisor.checkpoints_written,
+                )
+            if supervised.healthy:
+                n_healthy += 1
+            if supervised.result.fallback:
+                n_fallback += 1
+            if supervised.escalation.name != "HEALTHY":
+                name = supervised.escalation.name
+                escalations[name] = escalations.get(name, 0) + 1
 
     metrics = setup.metrics.to_dict() if setup.metrics is not None else {}
     counters = {
@@ -371,6 +422,10 @@ def run(config: Optional[SoakConfig] = None) -> SoakReport:
         sim_duration_s=setup.reader.time_s,
         wall_s=time.perf_counter() - wall_start,
         fault_counters=counters,
+        slo=health.engine.verdicts(),
+        n_slo_alerts=health.engine.n_alerts,
+        n_incidents=len(health.incidents),
+        health_status=health.status,
     )
 
 
@@ -389,7 +444,8 @@ def run_many(
     if runs < 1:
         raise ValueError("need at least one run")
     tasks = [
-        (replace(config, seed=child_seed, checkpoint_dir=None),)
+        (replace(config, seed=child_seed, checkpoint_dir=None,
+                 bundle_dir=None),)
         for child_seed in spawn_seeds(config.seed, runs)
     ]
     return parallel_map(run, tasks, workers=workers)
@@ -414,6 +470,9 @@ def format_report(report: SoakReport) -> str:
         ["simulated time", f"{report.sim_duration_s:.0f} s"],
         ["wall time", f"{report.wall_s:.1f} s"],
         ["invariant violations", len(report.violations)],
+        ["SLO alerts / incidents",
+         f"{report.n_slo_alerts} / {report.n_incidents}"],
+        ["health status", report.health_status],
     ]
     title = (
         f"Chaos soak (seed {report.config.seed}): "

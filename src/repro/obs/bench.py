@@ -52,6 +52,10 @@ class BenchResult:
     counts: Dict[str, int]
     #: Headline workload statistics, as a sanity anchor for the numbers.
     workload: Dict[str, object] = field(default_factory=dict)
+    #: Engine provenance: which inventory engine produced the numbers and
+    #: whether the C micro-kernel compiled on this machine — without it a
+    #: BENCH_*.json trajectory across machines is uninterpretable.
+    engine: Dict[str, object] = field(default_factory=dict)
 
     @property
     def slots_per_wall_s(self) -> float:
@@ -90,6 +94,7 @@ class BenchResult:
             "breakdown": {k: round(v, 9) for k, v in sorted(self.breakdown.items())},
             "counts": dict(sorted(self.counts.items())),
             "workload": self.workload,
+            "engine": dict(sorted(self.engine.items())),
         }
 
 
@@ -324,12 +329,27 @@ def _analyze(records: Sequence[object]) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
+def _engine_provenance(flight: bool) -> Dict[str, object]:
+    """Which inventory engine ran, and whether the C kernel compiled."""
+    from repro.gen2 import _ckernel
+
+    return {
+        "inventory_engine": os.environ.get(
+            "REPRO_INVENTORY_ENGINE", "calendar"
+        ),
+        "ckernel_compiled": _ckernel.load_kernel() is not None,
+        "flight_recorder": flight,
+    }
+
+
 def run_bench(
     name: str,
     scale: str = "smoke",
     tracer: Optional[Tracer] = None,
     warmup: int = 0,
     repeats: int = 1,
+    flight: bool = False,
+    flight_capacity: int = 8,
 ) -> BenchResult:
     """Run one named workload under tracing; reduce its trace to a budget.
 
@@ -343,6 +363,13 @@ def run_bench(
     benchmarking hygiene so the committed baselines track the code, not the
     machine's mood.  Workloads are deterministic, so every repeat produces
     identical simulated results; only the wall clock varies.
+
+    ``flight=True`` traces into a bounded
+    :class:`~repro.obs.health.FlightRecorder` instead — the production
+    health configuration — with evicted records collected on the side so
+    the analysis still covers the whole run.  The bench-compare gate runs
+    fig18 both ways against the same baseline, which is what keeps the
+    recorder's overhead within the regression allowance.
     """
     workload_fn = WORKLOADS.get(name)
     if workload_fn is None:
@@ -353,7 +380,9 @@ def run_bench(
         raise ValueError(f"unknown bench scale {scale!r}")
     if warmup < 0 or repeats < 1:
         raise ValueError("warmup must be >= 0 and repeats >= 1")
-    if tracer is None:
+    if flight and tracer is not None:
+        raise ValueError("flight mode builds its own recorder")
+    if not flight and tracer is None:
         ambient = get_tracer()
         # A private tracer only feeds _analyze, which reads aggregate round
         # args; skipping per-frame spans keeps tracing overhead out of the
@@ -364,13 +393,28 @@ def run_bench(
             workload_fn(scale)
     wall_s: Optional[float] = None
     for _ in range(repeats):
+        if flight:
+            from repro.obs.health import FlightRecorder
+
+            # A fresh recorder per repeat: eviction rewrites ``records``
+            # in place, so the start-index bookkeeping of the shared-trace
+            # path cannot apply.
+            evicted: List[object] = []
+            tracer = FlightRecorder(
+                capacity_cycles=flight_capacity,
+                detail="round",
+                on_evict=evicted.extend,
+            )
         start_index = len(tracer.records)
         wall_start = time.perf_counter()
         with use_tracer(tracer):
             workload = workload_fn(scale)
         elapsed = time.perf_counter() - wall_start
         wall_s = elapsed if wall_s is None else min(wall_s, elapsed)
-        analysis = _analyze(tracer.records[start_index:])
+        if flight:
+            analysis = _analyze(evicted + tracer.records)
+        else:
+            analysis = _analyze(tracer.records[start_index:])
     return BenchResult(
         name=name,
         scale=scale,
@@ -379,6 +423,7 @@ def run_bench(
         breakdown=analysis["breakdown"],
         counts=analysis["counts"],
         workload=workload,
+        engine=_engine_provenance(flight),
     )
 
 

@@ -148,6 +148,12 @@ def compare_result(
     )
 
 
+#: Workloads additionally re-run under a live FlightRecorder and gated
+#: against the *same* committed baseline: the recorder's overhead must fit
+#: inside the ordinary regression allowance, or the gate fails.
+FLIGHT_GATED = ("fig18",)
+
+
 def run_compare(
     names: Optional[Sequence[str]] = None,
     scale: str = "smoke",
@@ -155,6 +161,7 @@ def run_compare(
     max_regression: float = DEFAULT_MAX_REGRESSION,
     warmup: int = 1,
     repeats: int = 3,
+    flight_names: Sequence[str] = FLIGHT_GATED,
 ) -> CompareReport:
     """Re-run workloads with committed baselines; compare throughput."""
     report = CompareReport()
@@ -168,6 +175,13 @@ def run_compare(
         report.comparisons.append(
             compare_result(baseline, current, max_regression)
         )
+        if name in flight_names:
+            flown = run_bench(
+                name, scale=scale, warmup=0, repeats=repeats, flight=True
+            )
+            comparison = compare_result(baseline, flown, max_regression)
+            comparison.name = f"{name}+flight"
+            report.comparisons.append(comparison)
     return report
 
 

@@ -145,6 +145,25 @@ def to_chrome_trace(
                     "args": args,
                 }
             )
+        elif record.category == "slo" and isinstance(
+            record.args.get("value"), (int, float)
+        ):
+            # Health gauges (rolling IRR, staleness p99) render as Chrome
+            # counter tracks: one series per event name, plotted over
+            # simulated time alongside the spans that produced them.
+            events.append(
+                {
+                    "ph": "C",
+                    "name": record.name,
+                    "cat": "slo",
+                    "pid": 1,
+                    "tid": 1,
+                    "ts": round(record.t_s * 1e6, 3),
+                    "args": {
+                        "value": _rounded(record.args["value"]),
+                    },
+                }
+            )
         else:
             args = {"id": record.event_id, "parent": record.parent_id}
             args.update(_rounded(record.args))
@@ -187,7 +206,7 @@ def validate_chrome_trace(document: object) -> List[str]:
             problems.append(f"{where}: not an object")
             continue
         ph = event.get("ph")
-        if not isinstance(ph, str) or ph not in ("X", "i", "M", "B", "E"):
+        if not isinstance(ph, str) or ph not in ("X", "i", "M", "B", "E", "C"):
             problems.append(f"{where}: bad ph {ph!r}")
             continue
         if not isinstance(event.get("name"), str):
@@ -195,10 +214,18 @@ def validate_chrome_trace(document: object) -> List[str]:
         for key in ("pid", "tid"):
             if not isinstance(event.get(key), int):
                 problems.append(f"{where}: missing integer {key}")
-        if ph in ("X", "i"):
+        if ph in ("X", "i", "C"):
             ts = event.get("ts")
             if not isinstance(ts, (int, float)):
                 problems.append(f"{where}: missing ts")
+        if ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: C event needs non-empty args")
+            elif not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"{where}: C event args must be numeric")
         if ph == "X":
             dur = event.get("dur")
             if not isinstance(dur, (int, float)):

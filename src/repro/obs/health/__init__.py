@@ -1,0 +1,63 @@
+"""Live health & SLO layer: burn-rate alerts, flight recording, bundles.
+
+Three cooperating pieces (see each submodule's docstring):
+
+- :mod:`repro.obs.health.slo` — declarative SLOs scored with rolling
+  multi-window burn rates, on simulated time;
+- :mod:`repro.obs.health.recorder` — the bounded :class:`FlightRecorder`
+  keeping the last N cycles of spans/events/metric snapshots;
+- :mod:`repro.obs.health.bundle` — deterministic incident bundles cut
+  from the recorder through the checkpoint store's atomic-write path;
+- :mod:`repro.obs.health.monitor` — :class:`HealthMonitor` /
+  :class:`SiteHealthMonitor` gluing the above to supervised deployments
+  and multi-reader sites, behind ``python -m repro health``.
+
+Kept out of :mod:`repro.obs`'s namespace on purpose: the core stack
+(``repro.core.tagwatch``) imports ``repro.obs`` at module load, and this
+package imports the core stack back — a deliberate one-way door.
+"""
+
+from repro.obs.health.bundle import (
+    BUNDLE_VERSION,
+    bundle_name,
+    list_bundles,
+    validate_bundle,
+    write_incident_bundle,
+)
+from repro.obs.health.monitor import (
+    HealthMonitor,
+    HealthPolicy,
+    SiteHealthMonitor,
+    default_slos,
+    site_slos,
+)
+from repro.obs.health.recorder import DEFAULT_CAPACITY_CYCLES, FlightRecorder
+from repro.obs.health.slo import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SloAlert,
+    SloEngine,
+    SloSpec,
+    SloTracker,
+)
+
+__all__ = [
+    "BUNDLE_VERSION",
+    "BurnWindow",
+    "DEFAULT_CAPACITY_CYCLES",
+    "DEFAULT_WINDOWS",
+    "FlightRecorder",
+    "HealthMonitor",
+    "HealthPolicy",
+    "SiteHealthMonitor",
+    "SloAlert",
+    "SloEngine",
+    "SloSpec",
+    "SloTracker",
+    "bundle_name",
+    "default_slos",
+    "list_bundles",
+    "site_slos",
+    "validate_bundle",
+    "write_incident_bundle",
+]

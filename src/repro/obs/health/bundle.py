@@ -1,0 +1,208 @@
+"""Deterministic incident bundles: "what just happened", on disk.
+
+When an invariant trips, the watchdog escalates, or an injected kill
+lands, the :class:`~repro.obs.health.monitor.HealthMonitor` cuts a
+**bundle** from the flight recorder: one directory holding everything a
+post-mortem needs, written through the same atomic path as checkpoints
+(:func:`repro.core.persistence.atomic_write_text`) so a crash mid-dump
+never leaves a torn file.
+
+Layout (all files deterministic for a seeded run)::
+
+    incident-0001-escalation-restart/
+        trace.jsonl        # the flight recorder's retained records
+        metrics.prom       # Prometheus text of the registry at dump time
+        metrics_ring.jsonl # the per-cycle metric-snapshot ring
+        slo.json           # per-SLO burn-rate verdicts at dump time
+        manifest.json      # written LAST: reason, sim time, config hash,
+                           # checkpoint generation, sha256 of every file
+
+The manifest is written last, so a directory containing a complete
+manifest is a complete bundle — the same "rename commits the write"
+discipline the checkpoint store uses.  :func:`validate_bundle` is the
+schema check CI runs on the health-smoke artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.persistence import atomic_write_text
+from repro.obs.exporters import metrics_to_prometheus, to_jsonl
+
+__all__ = [
+    "BUNDLE_VERSION",
+    "MANIFEST_NAME",
+    "bundle_name",
+    "write_incident_bundle",
+    "validate_bundle",
+    "list_bundles",
+]
+
+PathLike = Union[str, Path]
+
+#: Bundle-format marker carried by every manifest.
+BUNDLE_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+#: Files every valid bundle must contain besides the manifest.
+REQUIRED_FILES = ("trace.jsonl", "metrics.prom", "metrics_ring.jsonl",
+                  "slo.json")
+
+
+def _slug(text: str) -> str:
+    """A reason string as a filesystem-safe, deterministic slug."""
+    slug = re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-")
+    return slug[:48] or "incident"
+
+
+def bundle_name(seq: int, reason: str) -> str:
+    """The deterministic directory name of bundle number ``seq``."""
+    return f"incident-{seq:04d}-{_slug(reason)}"
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def write_incident_bundle(
+    directory: PathLike,
+    *,
+    seq: int,
+    reason: str,
+    kind: str,
+    t_s: float,
+    cycle_index: int,
+    recorder,
+    slo_verdicts: Optional[Dict[str, dict]] = None,
+    metrics=None,
+    config_hash: str = "",
+    checkpoint_generation: int = 0,
+) -> Path:
+    """Cut one bundle from ``recorder`` into ``directory``; returns its path.
+
+    ``recorder`` is any :class:`~repro.obs.tracer.Tracer`; a
+    :class:`~repro.obs.health.recorder.FlightRecorder` additionally
+    contributes its metric-snapshot ring and eviction tallies.  ``metrics``
+    is an optional :class:`~repro.util.metrics.MetricsRegistry` exported as
+    Prometheus text.  Every field that lands on disk derives from simulated
+    time and seeded state, so same-seed bundles are byte-identical.
+    """
+    root = Path(directory) / bundle_name(seq, reason)
+    root.mkdir(parents=True, exist_ok=True)
+
+    trace_text = to_jsonl(recorder)
+    prom_text = metrics_to_prometheus(metrics) if metrics is not None else ""
+    ring = getattr(recorder, "metric_snapshots", ())
+    ring_lines = [
+        json.dumps(
+            {"cycle": index, "t_s": round(t, 9), "metrics": snapshot},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        for index, t, snapshot in ring
+    ]
+    ring_text = "\n".join(ring_lines) + ("\n" if ring_lines else "")
+    slo_text = json.dumps(
+        slo_verdicts or {}, indent=2, sort_keys=True
+    ) + "\n"
+
+    files = {
+        "trace.jsonl": trace_text,
+        "metrics.prom": prom_text,
+        "metrics_ring.jsonl": ring_text,
+        "slo.json": slo_text,
+    }
+    for name, text in files.items():
+        atomic_write_text(root / name, text)
+
+    manifest = {
+        "bundle_version": BUNDLE_VERSION,
+        "seq": int(seq),
+        "reason": reason,
+        "kind": kind,
+        "sim_time_s": round(float(t_s), 9),
+        "cycle_index": int(cycle_index),
+        "config_hash": config_hash,
+        "checkpoint_generation": int(checkpoint_generation),
+        "n_records": len(recorder.records),
+        "n_cycles_retained": getattr(recorder, "n_cycles_retained", 0),
+        "evicted_spans": getattr(recorder, "evicted_spans", 0),
+        "evicted_events": getattr(recorder, "evicted_events", 0),
+        "files": {name: _sha256(text) for name, text in files.items()},
+    }
+    atomic_write_text(
+        root / MANIFEST_NAME,
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+    )
+    return root
+
+
+def validate_bundle(path: PathLike) -> List[str]:
+    """Schema-check one bundle directory; returns problems (empty = ok)."""
+    root = Path(path)
+    problems: List[str] = []
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.is_file():
+        return [f"{root.name}: missing {MANIFEST_NAME}"]
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return [f"{root.name}: manifest does not parse: {exc}"]
+    if manifest.get("bundle_version") != BUNDLE_VERSION:
+        problems.append(
+            f"{root.name}: unsupported bundle_version "
+            f"{manifest.get('bundle_version')!r}"
+        )
+    for key in ("seq", "reason", "kind", "sim_time_s", "cycle_index",
+                "config_hash", "checkpoint_generation", "files"):
+        if key not in manifest:
+            problems.append(f"{root.name}: manifest missing {key!r}")
+    checksums = manifest.get("files", {})
+    for name in REQUIRED_FILES:
+        file_path = root / name
+        if not file_path.is_file():
+            problems.append(f"{root.name}: missing {name}")
+            continue
+        text = file_path.read_text(encoding="utf-8")
+        expected = checksums.get(name)
+        if expected is None:
+            problems.append(f"{root.name}: manifest has no checksum for {name}")
+        elif _sha256(text) != expected:
+            problems.append(f"{root.name}: checksum mismatch for {name}")
+        if name.endswith(".jsonl"):
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                try:
+                    json.loads(line)
+                except json.JSONDecodeError:
+                    problems.append(
+                        f"{root.name}: {name}:{lineno} is not JSON"
+                    )
+                    break
+    slo_path = root / "slo.json"
+    if slo_path.is_file():
+        try:
+            verdicts = json.loads(slo_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            problems.append(f"{root.name}: slo.json does not parse: {exc}")
+        else:
+            if not isinstance(verdicts, dict):
+                problems.append(f"{root.name}: slo.json must be an object")
+    return problems
+
+
+def list_bundles(directory: PathLike) -> List[Path]:
+    """Bundle directories under ``directory``, in sequence order."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    return sorted(
+        child
+        for child in root.iterdir()
+        if child.is_dir() and child.name.startswith("incident-")
+    )

@@ -19,12 +19,14 @@ warming up (15 s)...
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, IO, Optional
 
 __all__ = [
+    "ENV_LEVEL",
     "LEVELS",
     "StructuredLogger",
     "configure",
@@ -35,13 +37,26 @@ __all__ = [
 #: Symbolic level names to numeric severities (stdlib-compatible values).
 LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
 
+#: Environment variable consulted for the *default* level — handy for
+#: cranking a misbehaving run to ``debug`` (or muting a cron job to
+#: ``error``) without plumbing a flag through every entry point.  An
+#: explicit :func:`configure` call always wins; unknown values fall back
+#: to ``info`` rather than erroring, so a typo never kills a run.
+ENV_LEVEL = "REPRO_LOG_LEVEL"
+
+
+def _env_level() -> int:
+    """Default severity: ``$REPRO_LOG_LEVEL`` if valid, else ``info``."""
+    name = os.environ.get(ENV_LEVEL, "").strip().lower()
+    return LEVELS.get(name, LEVELS["info"])
+
 
 @dataclass
 class _Config:
     """Process-wide logging configuration (see :func:`configure`)."""
 
     format: str = "plain"  # "plain" | "json"
-    level: int = LEVELS["info"]
+    level: int = field(default_factory=_env_level)
     #: Destination for < error records; ``None`` = current ``sys.stdout``.
     stream: Optional[IO[str]] = None
     #: Destination for error records; ``None`` = current ``sys.stderr``.
@@ -80,7 +95,11 @@ def configure(
 
 
 def reset() -> None:
-    """Restore defaults (plain format, info level, std streams)."""
+    """Restore defaults (plain format, std streams, env-derived level).
+
+    The level is re-read from ``$REPRO_LOG_LEVEL`` at reset time, so tests
+    that monkeypatch the environment see the change take effect.
+    """
     global _config
     _config = _Config()
 

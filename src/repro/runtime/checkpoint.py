@@ -172,12 +172,15 @@ class CheckpointStore:
                 _log.warning(f"skipping checkpoint generation: {exc}")
                 errors.append(str(exc))
                 continue
+            # The generation's *name* only: an absolute path would drag
+            # host-specific state into the trace (and into incident
+            # bundles, which must be byte-identical across machines).
             get_tracer().event(
                 "checkpoint.load",
                 t=float(envelope.get("sim_time_s", 0.0)),
                 category="runtime",
                 cycle=int(envelope.get("cycle_index", 0)),
-                generation=str(candidate),
+                generation=Path(candidate).name,
             )
             return envelope, candidate
         raise CheckpointUnavailable(

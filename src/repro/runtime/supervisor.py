@@ -144,6 +144,11 @@ class Supervisor:
     config_hash:
         Fingerprint guarding warm restarts; computed from the live scene
         and Tagwatch config when omitted.
+    health:
+        Optional :class:`~repro.obs.health.HealthMonitor`.  Every cycle is
+        folded into its SLO engine, and escalations / forced restarts cut
+        incident bundles from its flight recorder (one per unhealthy
+        episode; see :meth:`HealthMonitor.incident`).
     """
 
     def __init__(
@@ -152,10 +157,12 @@ class Supervisor:
         config: Optional[SupervisorConfig] = None,
         store: Optional[CheckpointStore] = None,
         config_hash: Optional[str] = None,
+        health=None,
     ) -> None:
         self.factory = factory
         self.config = config or SupervisorConfig()
         self.store = store
+        self.health = health
         self.tagwatch: Optional[Tagwatch] = None
         self._config_hash = config_hash
         self._subscribers: List[ObservationCallback] = []
@@ -244,7 +251,17 @@ class Supervisor:
         crash semantics the chaos soak harness exercises.  Returns the
         restart mode (``"warm"`` / ``"cold"``).
         """
-        return self._restart(reason)
+        mode = self._restart(reason)
+        if self.health is not None and self.tagwatch is not None:
+            self.health.incident(
+                reason=reason,
+                kind="kill",
+                t_s=self.tagwatch.client.reader.time_s,
+                cycle_index=self.tagwatch._cycle_index,
+                config_hash=self.config_hash,
+                checkpoint_generation=self.checkpoints_written,
+            )
+        return mode
 
     def _restart(self, reason: str) -> str:
         policy = self.config.watchdog
@@ -345,6 +362,17 @@ class Supervisor:
             level=level.name,
             strikes=self._strikes,
         )
+        if self.health is not None:
+            # One bundle per unhealthy episode: further rungs of this
+            # ladder are deduplicated inside the monitor.
+            self.health.incident(
+                reason=level.name.lower(),
+                kind="escalation",
+                t_s=reader.time_s,
+                cycle_index=self.tagwatch._cycle_index,
+                config_hash=self.config_hash,
+                checkpoint_generation=self.checkpoints_written,
+            )
         # Recovery backoff: give a dead reader time to reboot (and an open
         # circuit breaker time to half-close) before the next attempt.
         if policy.unhealthy_backoff_s > 0:
@@ -365,6 +393,13 @@ class Supervisor:
             self._force_fallback_remaining -= 1
         reasons = self._health(result)
         healthy = not reasons
+        if self.health is not None:
+            self.health.observe_cycle(
+                result,
+                healthy=healthy,
+                reasons=reasons,
+                client=self.tagwatch.client,
+            )
         escalation = EscalationLevel.HEALTHY
         checkpointed = False
         if healthy:

@@ -244,6 +244,21 @@ class SiteRun:
         per_reader = self.reports_per_reader()
         return sum(per_reader.values()) / len(per_reader)
 
+    def health_report(self) -> Dict[str, object]:
+        """Site-level health verdict for this interval.
+
+        Convenience wrapper around
+        :class:`repro.obs.health.SiteHealthMonitor` (imported lazily —
+        the health layer sits above the site layer) scoring just this
+        run; for rolling multi-interval SLOs hold a monitor yourself and
+        feed it every run.
+        """
+        from repro.obs.health.monitor import SiteHealthMonitor
+
+        monitor = SiteHealthMonitor()
+        monitor.observe_run(self)
+        return monitor.report(run=self)
+
     # ------------------------------------------------------------------
     def canonical(self) -> Dict[str, object]:
         """Canonical JSON payload: the byte-equality surface.

@@ -1,0 +1,164 @@
+"""Incident bundle tests: layout, validation, cross-worker determinism."""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import parallel_map, spawn_seeds
+from repro.obs.health.bundle import (
+    BUNDLE_VERSION,
+    REQUIRED_FILES,
+    bundle_name,
+    list_bundles,
+    validate_bundle,
+    write_incident_bundle,
+)
+from repro.obs.health.recorder import FlightRecorder
+from repro.obs.tracer import get_tracer, use_tracer
+from repro.util.metrics import MetricsRegistry
+
+
+def make_recorder():
+    recorder = FlightRecorder(capacity_cycles=4)
+    for i in range(3):
+        span = recorder.begin("cycle", t=float(i), index=i)
+        recorder.event("tick", t=i + 0.5)
+        recorder.end(span, t=i + 1.0)
+        recorder.snapshot_metrics(i, i + 1.0, {"reads": i * 10})
+    return recorder
+
+
+def cut(tmp_path, **overrides):
+    metrics = MetricsRegistry()
+    metrics.counter("client.retries").inc(2)
+    kwargs = dict(
+        seq=1,
+        reason="escalation-restart",
+        kind="escalation",
+        t_s=3.0,
+        cycle_index=2,
+        recorder=make_recorder(),
+        slo_verdicts={"irr_floor": {"ok": True}},
+        metrics=metrics,
+        config_hash="abc123",
+        checkpoint_generation=7,
+    )
+    kwargs.update(overrides)
+    return write_incident_bundle(tmp_path, **kwargs)
+
+
+class TestNaming:
+    def test_bundle_name_is_deterministic_and_safe(self):
+        assert bundle_name(3, "Escalation: RESTART!") == (
+            "incident-0003-escalation-restart"
+        )
+        assert bundle_name(1, "***") == "incident-0001-incident"
+        assert len(bundle_name(1, "x" * 500)) <= len("incident-0001-") + 48
+
+
+class TestLayout:
+    def test_all_required_files_present(self, tmp_path):
+        root = cut(tmp_path)
+        for name in REQUIRED_FILES + ("manifest.json",):
+            assert (root / name).is_file(), name
+
+    def test_manifest_contents(self, tmp_path):
+        root = cut(tmp_path)
+        manifest = json.loads((root / "manifest.json").read_text())
+        assert manifest["bundle_version"] == BUNDLE_VERSION
+        assert manifest["kind"] == "escalation"
+        assert manifest["config_hash"] == "abc123"
+        assert manifest["checkpoint_generation"] == 7
+        assert manifest["n_cycles_retained"] == 3
+        assert set(manifest["files"]) == set(REQUIRED_FILES)
+
+    def test_trace_and_ring_are_jsonl(self, tmp_path):
+        root = cut(tmp_path)
+        trace_lines = (root / "trace.jsonl").read_text().splitlines()
+        assert len(trace_lines) == 6  # 3 spans + 3 events
+        for line in trace_lines:
+            json.loads(line)
+        ring_lines = (root / "metrics_ring.jsonl").read_text().splitlines()
+        assert [json.loads(l)["cycle"] for l in ring_lines] == [0, 1, 2]
+
+    def test_prometheus_export_rides_along(self, tmp_path):
+        root = cut(tmp_path)
+        assert "client_retries_total 2" in (root / "metrics.prom").read_text()
+
+
+class TestValidation:
+    def test_fresh_bundle_validates_clean(self, tmp_path):
+        assert validate_bundle(cut(tmp_path)) == []
+
+    def test_missing_manifest_detected(self, tmp_path):
+        root = cut(tmp_path)
+        (root / "manifest.json").unlink()
+        assert any("manifest" in p for p in validate_bundle(root))
+
+    def test_tampered_file_detected(self, tmp_path):
+        root = cut(tmp_path)
+        (root / "trace.jsonl").write_text('{"tampered": true}\n')
+        problems = validate_bundle(root)
+        assert any("checksum mismatch" in p for p in problems)
+
+    def test_missing_required_file_detected(self, tmp_path):
+        root = cut(tmp_path)
+        (root / "slo.json").unlink()
+        assert any("missing slo.json" in p for p in validate_bundle(root))
+
+    def test_unparseable_jsonl_detected(self, tmp_path):
+        root = cut(tmp_path)
+        (root / "metrics_ring.jsonl").write_text("not json\n")
+        problems = validate_bundle(root)
+        assert any("not JSON" in p for p in problems)
+
+    def test_list_bundles_in_sequence_order(self, tmp_path):
+        cut(tmp_path, seq=2, reason="b")
+        cut(tmp_path, seq=1, reason="a")
+        names = [p.name for p in list_bundles(tmp_path)]
+        assert names == ["incident-0001-a", "incident-0002-b"]
+        assert list_bundles(tmp_path / "nope") == []
+
+
+def _traced_task(seed):
+    tracer = get_tracer()
+    span = tracer.begin("cycle", t=0.0, seed=seed)
+    tracer.event("tick", t=0.5)
+    tracer.end(span, t=1.0)
+    return seed
+
+
+class TestWorkerDeterminism:
+    """Same seed + config => byte-identical bundles at any worker count."""
+
+    WORKER_COUNTS = (1, 2, 4)
+
+    def _bundle_bytes(self, tmp_path, workers):
+        recorder = FlightRecorder(capacity_cycles=4)
+        tasks = [(s,) for s in spawn_seeds(17, 6)]
+        with use_tracer(recorder):
+            parallel_map(_traced_task, tasks, workers=workers)
+        root = write_incident_bundle(
+            tmp_path / f"w{workers}",
+            seq=1,
+            reason="kill",
+            kind="kill",
+            t_s=6.0,
+            cycle_index=5,
+            recorder=recorder,
+            slo_verdicts={},
+        )
+        assert validate_bundle(root) == []
+        return {
+            name: (root / name).read_bytes()
+            for name in REQUIRED_FILES + ("manifest.json",)
+        }
+
+    def test_bundles_byte_identical_across_worker_counts(self, tmp_path):
+        reference = self._bundle_bytes(tmp_path, 1)
+        for workers in self.WORKER_COUNTS[1:]:
+            current = self._bundle_bytes(tmp_path, workers)
+            for name in reference:
+                assert current[name] == reference[name], (
+                    f"{name} diverged at workers={workers}"
+                )

@@ -1,0 +1,95 @@
+"""Health layer acceptance on the soak harness.
+
+The two load-bearing guarantees from the issue: a fault-free seeded run
+must produce **zero** SLO alerts (no false positives — coverage excusal
+and unhealthy-cycle clock-holding are doing their jobs), and a chaos run
+with a bundle directory must cut at least one valid bundle per kill and
+per unhealthy episode.
+"""
+
+import pytest
+
+from repro.experiments import soak
+from repro.obs.health import list_bundles, validate_bundle
+
+
+@pytest.fixture(scope="module")
+def quiet_report():
+    config = soak.SoakConfig(
+        n_cycles=80, seed=4, crash_every=0, kill_every=0, corrupt_every=0,
+        jam_every=0, blackout_every=0, churn_tags=0, report_loss=0.0,
+    )
+    return soak.run(config)
+
+
+@pytest.fixture(scope="module")
+def chaos(tmp_path_factory):
+    bundle_dir = tmp_path_factory.mktemp("bundles")
+    config = soak.SoakConfig(
+        n_cycles=120, seed=9, crash_every=30, kill_every=50,
+        corrupt_every=0, bundle_dir=str(bundle_dir),
+    )
+    return soak.run(config), bundle_dir
+
+
+class TestFaultFree:
+    def test_zero_slo_alerts(self, quiet_report):
+        assert quiet_report.ok
+        assert quiet_report.n_slo_alerts == 0
+        assert quiet_report.slo_ok
+        assert quiet_report.health_status == "ok"
+        assert quiet_report.n_incidents == 0
+
+    def test_slos_actually_observed(self, quiet_report):
+        verdicts = quiet_report.slo
+        assert verdicts["irr_floor"]["observations"] == 80
+        assert verdicts["staleness_p99"]["observations"] == 80
+        assert verdicts["irr_floor"]["errors"] == 0
+
+
+class TestChaos:
+    def test_survives_and_cuts_bundles(self, chaos):
+        report, bundle_dir = chaos
+        assert report.ok  # invariants still hold under chaos
+        assert report.n_incidents >= 2  # kills at least
+        bundles = list_bundles(bundle_dir)
+        assert len(bundles) == report.n_incidents
+        # Both kill bundles and escalation-episode bundles appear.
+        kinds = {p.name.split("-")[2] for p in bundles}
+        assert "kill" in kinds
+
+    def test_every_bundle_validates(self, chaos):
+        _, bundle_dir = chaos
+        for path in list_bundles(bundle_dir):
+            assert validate_bundle(path) == [], path.name
+
+    def test_report_carries_the_health_block(self, chaos):
+        report, _ = chaos
+        document = report.to_dict()
+        for key in ("slo", "n_slo_alerts", "n_incidents",
+                    "health_status", "slo_ok"):
+            assert key in document
+        text = soak.format_report(report)
+        assert "SLO alerts" in text
+        assert "health status" in text
+
+
+class TestDeterminism:
+    def test_same_seed_same_bundles(self, tmp_path):
+        def run_once(name):
+            bundle_dir = tmp_path / name
+            config = soak.SoakConfig(
+                n_cycles=60, seed=9, crash_every=25, kill_every=40,
+                corrupt_every=0, checkpoint_dir=tmp_path / f"ckpt-{name}",
+                bundle_dir=str(bundle_dir),
+            )
+            soak.run(config)
+            return {
+                f"{p.name}/{f.name}": f.read_bytes()
+                for p in list_bundles(bundle_dir)
+                for f in sorted(p.iterdir())
+            }
+
+        first = run_once("a")
+        assert first  # chaos at this cadence must cut something
+        assert run_once("b") == first

@@ -54,8 +54,10 @@ def test_write_bench_json_shape(fig02_result, tmp_path):
     assert data["name"] == "fig02"
     assert set(data) == {
         "name", "scale", "wall_s", "sim_s", "slots_per_wall_s",
-        "startup_cpu_share", "breakdown", "counts", "workload",
+        "startup_cpu_share", "breakdown", "counts", "workload", "engine",
     }
+    assert data["engine"]["flight_recorder"] is False
+    assert data["engine"]["inventory_engine"]
     assert 0.0 <= data["startup_cpu_share"] <= 1.0
     assert data["counts"]["rounds"] == fig02_result.counts["rounds"]
 

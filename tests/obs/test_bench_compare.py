@@ -84,6 +84,39 @@ def test_compare_result_reconstructs_share_from_old_baseline():
     assert c.share_regressed
 
 
+def test_run_compare_adds_the_flight_overhead_row(tmp_path, monkeypatch):
+    """Flight-gated workloads get a second row against the same baseline.
+
+    The FlightRecorder's overhead must fit inside the ordinary regression
+    allowance — that is the "measured and gated" guarantee, without a
+    second committed baseline to keep fresh.
+    """
+    import json
+
+    from repro.obs import bench_compare
+
+    baseline = _result().to_dict()
+    (tmp_path / "BENCH_fig18.json").write_text(json.dumps(baseline))
+    calls = []
+
+    def fake_run_bench(name, scale="smoke", warmup=1, repeats=3, flight=False):
+        calls.append((name, flight))
+        return _result()
+
+    monkeypatch.setattr(bench_compare, "run_bench", fake_run_bench)
+    report = bench_compare.run_compare(
+        names=["fig18"], baseline_dir=str(tmp_path)
+    )
+    assert calls == [("fig18", False), ("fig18", True)]
+    assert [c.name for c in report.comparisons] == ["fig18", "fig18+flight"]
+    assert report.passed
+
+    report = bench_compare.run_compare(
+        names=["fig18"], baseline_dir=str(tmp_path), flight_names=()
+    )
+    assert [c.name for c in report.comparisons] == ["fig18"]
+
+
 def test_format_compare_reports_share_and_verdict():
     report = CompareReport(
         comparisons=[

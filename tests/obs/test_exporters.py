@@ -53,6 +53,37 @@ def test_chrome_trace_is_valid_and_microsecond_scaled():
     assert phase["args"]["parent"] == cycle["args"]["id"]
 
 
+def test_slo_gauge_events_render_as_counter_tracks():
+    tracer = Tracer()
+    span = tracer.begin("cycle", t=0.0, category="core")
+    tracer.event("slo.irr_hz", t=0.5, category="slo", value=42.5)
+    tracer.event("slo.alert", t=0.6, category="slo", slo="irr_floor")
+    tracer.end(span, t=1.0)
+    document = to_chrome_trace(tracer)
+    counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+    assert len(counters) == 1
+    assert counters[0]["name"] == "slo.irr_hz"
+    assert counters[0]["args"] == {"value": 42.5}
+    assert counters[0]["ts"] == 0.5e6
+    # The alert has no numeric value: it stays an instant marker.
+    instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+    assert [e["name"] for e in instants] == ["slo.alert"]
+    assert validate_chrome_trace(document) == []
+
+
+def test_validate_chrome_trace_checks_counter_events():
+    base = {"name": "c", "cat": "slo", "pid": 1, "tid": 1, "ts": 1.0}
+    good = {"traceEvents": [dict(base, ph="C", args={"value": 1.5})]}
+    assert validate_chrome_trace(good) == []
+    empty = {"traceEvents": [dict(base, ph="C", args={})]}
+    assert any("non-empty args" in p for p in validate_chrome_trace(empty))
+    stringy = {"traceEvents": [dict(base, ph="C", args={"value": "hot"})]}
+    assert any("numeric" in p for p in validate_chrome_trace(stringy))
+    no_ts = {"traceEvents": [{"name": "c", "cat": "slo", "pid": 1,
+                              "tid": 1, "ph": "C", "args": {"v": 1}}]}
+    assert any("missing ts" in p for p in validate_chrome_trace(no_ts))
+
+
 def test_validate_chrome_trace_flags_problems():
     assert validate_chrome_trace([]) == ["top level must be an object"]
     assert validate_chrome_trace({}) == ["traceEvents must be a list"]

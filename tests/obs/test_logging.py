@@ -84,6 +84,34 @@ def test_explicit_streams():
     assert err.getvalue() == "to err\n"
 
 
+def test_env_level_applies_on_reset(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+    reset()
+    log = get_logger("repro.test")
+    log.info("hidden")
+    log.error("shown")
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err == "shown\n"
+
+
+def test_env_level_invalid_falls_back_to_info(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "chatty")
+    reset()
+    log = get_logger("repro.test")
+    log.debug("hidden")
+    log.info("shown")
+    assert capsys.readouterr().out == "shown\n"
+
+
+def test_explicit_configure_overrides_env(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+    reset()
+    configure(level="debug")
+    get_logger("repro.test").debug("shown")
+    assert capsys.readouterr().out == "shown\n"
+
+
 def test_configure_rejects_unknown_values():
     with pytest.raises(ValueError):
         configure(format="xml")

@@ -134,3 +134,40 @@ class TestObservabilityWiring:
             == 0
         )
         assert list(tmp_path.iterdir()) == []
+
+
+class TestHealthCommand:
+    def test_fault_free_report_is_ok(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "health.json"
+        assert (
+            main(["health", "--cycles", "15", "--out", str(out)]) == 0
+        )
+        report = json.loads(out.read_text())
+        assert report["status"] == "ok"
+        assert report["n_alerts"] == 0
+        assert report["slo"]["irr_floor"]["observations"] == 15
+
+    def test_blackout_cuts_exactly_one_valid_bundle(self, tmp_path, capsys):
+        from repro.obs.health import list_bundles, validate_bundle
+
+        bundles = tmp_path / "bundles"
+        window = ["--blackout", "0:15:45", "--blackout", "1:15:45",
+                  "--blackout", "2:15:45", "--blackout", "3:15:45"]
+        assert (
+            main(["health", "--cycles", "40", "--bundle-dir", str(bundles)]
+                 + window)
+            == 0
+        )
+        cut = list_bundles(bundles)
+        assert len(cut) == 1  # one unhealthy episode -> one bundle
+        assert validate_bundle(cut[0]) == []
+        out = capsys.readouterr().out
+        assert '"status": "alerting"' in out
+        assert "1 incident bundle(s)" in out
+
+    def test_watch_streams_status_lines(self, capsys):
+        assert main(["health", "--cycles", "3", "--watch"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("status=ok") >= 3
