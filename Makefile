@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest underneath.
 
-.PHONY: install test test-faults test-runtime test-site bench bench-smoke bench-micro bench-compare bench-refresh soak soak-smoke site-smoke health-smoke examples reproduce clean
+.PHONY: install test test-faults test-runtime test-site bench bench-smoke bench-micro bench-compare bench-refresh soak soak-smoke site-smoke site-chaos-smoke health-smoke examples reproduce clean
 
 install:
 	python setup.py develop
@@ -17,7 +17,8 @@ test-runtime:
 
 test-site:
 	pytest tests/site tests/experiments/test_fig_redundancy.py \
-		tests/experiments/test_parallel.py
+		tests/experiments/test_parallel.py \
+		tests/experiments/test_site_soak.py tests/faults/test_site_plan.py
 
 bench:
 	python -m repro bench --name all --scale smoke
@@ -58,6 +59,23 @@ soak-smoke:
 site-smoke:
 	python -m repro site --readers 4 --tags 1000 --duration 0.5 \
 		--workers 4 --check-differential --out site_run.json
+
+# Site chaos smoke: a supervised 3-reader site where the seeded plan
+# kills one reader mid-run.  The supervisor must detect the death,
+# re-plan channels over the survivors, warm-rejoin the reader, and
+# converge with zero invariant violations, byte-identically across
+# worker counts — cutting exactly one schema-valid incident bundle
+# (the CLI validates every bundle before exiting).
+site-chaos-smoke:
+	rm -rf site_chaos_bundles
+	python -m repro site --chaos --readers 3 --tags 24 --epochs 12 \
+		--outages 1 --mobile 2 --seed 11 --workers 4 \
+		--check-differential --bundle-dir site_chaos_bundles \
+		--out site_chaos.json
+	python -c "from repro.obs.health import list_bundles; \
+		cut = list_bundles('site_chaos_bundles'); \
+		assert len(cut) == 1, [p.name for p in cut]; \
+		print('site chaos smoke OK: one bundle, ' + cut[0].name)"
 
 # Health smoke: a supervised run with every antenna blacked out for one
 # 30 s window.  The forced outage must escalate exactly once, cutting

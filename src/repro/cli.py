@@ -40,20 +40,30 @@ Commands
     process pool, fuse the per-reader reports, and run the site invariant
     suite.  ``--check-differential`` re-runs sequentially and fails
     unless the sharded result is byte-identical (see ``docs/site.md``).
+``site --chaos [--epochs N --outages K --bundle-dir D]``
+    Run the site under a :class:`~repro.site.supervisor.SiteSupervisor`
+    with a seeded fault plan killing readers mid-run: watchdog detection,
+    channel re-planning over survivors, coverage rebalancing, warm rejoin
+    from checkpoints, per-outage incident bundles, and the failover
+    invariants/SLOs deciding the exit code (see ``docs/site.md``).
 
 Every subcommand accepts ``--trace-out F`` (simulation-time trace; Chrome
-trace-event JSON by default, ``--trace-format jsonl`` for the event log)
-and ``--metrics-out F`` (telemetry registry; JSON, or Prometheus text when
-``F`` ends in ``.prom``/``.txt``).  See ``docs/observability.md``.
+trace-event JSON by default, ``--trace-format jsonl`` for the event log),
+``--metrics-out F`` (telemetry registry; JSON, or Prometheus text when
+``F`` ends in ``.prom``/``.txt``), and ``--engine E`` (inventory kernel:
+``calendar``/``fast``/``reference``; overrides the
+``REPRO_INVENTORY_ENGINE`` environment variable).  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from contextlib import ExitStack
-from typing import Callable, Dict, List, Optional, Sequence
+from contextlib import ExitStack, contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.core import TagwatchConfig
 from repro.core.analysis import breakeven_percent, predicted_gain
@@ -78,6 +88,7 @@ from repro.obs import (
     MetricsRegistry,
     Tracer,
     get_logger,
+    get_tracer,
     metrics_to_prometheus,
     use_metrics,
     use_tracer,
@@ -449,6 +460,111 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _pick(value, default):
+    """An explicitly given flag value, else the mode's default.
+
+    The shared ``site`` flags (``--readers``, ``--tags``, ...) default to
+    ``None`` in the parser because the plain run and the ``--chaos`` soak
+    want different defaults (4 readers / 1000 tags vs the tuned 6-reader /
+    96-tag chaos field); each path fills in its own.
+    """
+    return default if value is None else value
+
+
+def _cmd_site_chaos(args: argparse.Namespace) -> int:
+    """Run the supervised chaos soak behind ``site --chaos``."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments import site_soak
+    from repro.obs.health import FlightRecorder, list_bundles, validate_bundle
+
+    config = site_soak.SiteSoakConfig(
+        n_readers=_pick(args.readers, 6),
+        n_tags=_pick(args.tags, 96),
+        n_mobile=args.mobile,
+        layout=_pick(args.layout, "line"),
+        seed=args.seed,
+        n_epochs=args.epochs,
+        epoch_s=args.epoch,
+        base_read_loss=_pick(args.loss, 0.15),
+        n_channels=_pick(args.channels, 8),
+        n_outages=args.outages,
+    )
+    differential_ok: Optional[bool] = None
+    with tempfile.TemporaryDirectory(prefix="repro-site-chaos-") as tmp:
+        recorder = FlightRecorder() if args.bundle_dir else None
+        outer_tracer = get_tracer()
+        with ExitStack() as stack:
+            if recorder is not None:
+                stack.enter_context(use_tracer(recorder))
+            report = site_soak.run(
+                config,
+                workers=args.workers,
+                recorder=recorder,
+                bundle_dir=args.bundle_dir or None,
+                checkpoint_path=str(Path(tmp) / "site.ckpt"),
+            )
+        if recorder is not None and outer_tracer.enabled:
+            # The recorder shadowed the ambient tracer while it fed the
+            # incident bundles; replay its ring so --trace-out still sees
+            # the run.
+            outer_tracer.absorb(recorder.records)
+        if args.check_differential:
+            # The sequential reference mirrors the bundle wiring (bundle
+            # names land in the canonical payload) into a throwaway dir.
+            mirror = FlightRecorder() if args.bundle_dir else None
+            with ExitStack() as stack:
+                if mirror is not None:
+                    stack.enter_context(use_tracer(mirror))
+                reference = site_soak.run(
+                    config,
+                    workers=1,
+                    recorder=mirror,
+                    bundle_dir=(
+                        str(Path(tmp) / "mirror-bundles")
+                        if args.bundle_dir
+                        else None
+                    ),
+                    checkpoint_path=str(Path(tmp) / "mirror.ckpt"),
+                )
+            differential_ok = (
+                reference.canonical_bytes() == report.canonical_bytes()
+            )
+    _log.info(site_soak.format_report(config, report))
+    code = 0 if report.ok else 1
+    for violation in report.violations:
+        _log.error(f"invariant violation: {violation}")
+    if differential_ok is False:
+        _log.error(
+            "differential check FAILED: sharded chaos run diverges from "
+            "the sequential reference"
+        )
+        code = 1
+    elif differential_ok:
+        _log.info(
+            "differential check: sharded chaos run byte-identical to "
+            "sequential reference"
+        )
+    if args.bundle_dir:
+        bundles = list_bundles(args.bundle_dir)
+        for path in bundles:
+            problems = validate_bundle(path)
+            if problems:
+                for problem in problems:
+                    _log.error(f"{path.name}: {problem}")
+                code = 1
+        _log.info(
+            f"{len(bundles)} incident bundle(s) in {args.bundle_dir}"
+            + ("" if code == 0 else " — validation FAILED")
+        )
+    if args.out:
+        with open(args.out, "wb") as handle:
+            handle.write(report.canonical_bytes())
+        _log.info(f"wrote {args.out}")
+    return code
+
+
 def cmd_site(args: argparse.Namespace) -> int:
     """Simulate a multi-reader site; check invariants (and the differential)."""
     from repro.runtime.invariants import SiteInvariantSuite
@@ -460,13 +576,16 @@ def cmd_site(args: argparse.Namespace) -> int:
         simulate_site,
     )
 
-    build = ring_site if args.layout == "ring" else line_site
+    if args.chaos:
+        return _cmd_site_chaos(args)
+    layout = _pick(args.layout, "ring")
+    build = ring_site if layout == "ring" else line_site
     config = SiteConfig(
-        topology=build(args.readers, args.tags),
+        topology=build(_pick(args.readers, 4), _pick(args.tags, 1000)),
         seed=args.seed,
         duration_s=args.duration,
-        base_read_loss=args.loss,
-        coordinator=ChannelCoordinator(n_channels=args.channels),
+        base_read_loss=_pick(args.loss, 0.2),
+        coordinator=ChannelCoordinator(n_channels=_pick(args.channels, 16)),
     )
     run = simulate_site(config, workers=args.workers)
     per_reader = run.reports_per_reader()
@@ -485,7 +604,7 @@ def cmd_site(args: argparse.Namespace) -> int:
             ["reader", "rounds", "slots", "fused reads", "read loss"],
             rows,
             title=(
-                f"Site: {run.n_readers} reader(s) ({args.layout}), "
+                f"Site: {run.n_readers} reader(s) ({layout}), "
                 f"{config.topology.n_tags} tags, {config.duration_s:.2f} s — "
                 f"{run.aggregate_reports} fused reads, "
                 f"{len(run.missed_epc_values())} missed "
@@ -729,7 +848,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default="",
         help="write telemetry metrics here (JSON; .prom/.txt: Prometheus text)",
     )
-    obs_parents = [trace_parent, metrics_parent]
+    engine_parent = argparse.ArgumentParser(add_help=False)
+    engine_parent.add_argument(
+        "--engine", choices=("calendar", "fast", "reference"), default=None,
+        help="inventory kernel; overrides the REPRO_INVENTORY_ENGINE "
+        "environment variable (default: calendar)",
+    )
+    obs_parents = [trace_parent, metrics_parent, engine_parent]
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -778,7 +903,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_faults = sub.add_parser(
         "faults", help="run Tagwatch under injected faults, export metrics",
-        parents=[trace_parent],
+        parents=[trace_parent, engine_parent],
     )
     p_faults.add_argument("--tags", type=int, default=20)
     p_faults.add_argument("--mobile", type=int, default=1)
@@ -882,21 +1007,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate a multi-reader site; check fusion invariants",
         parents=obs_parents,
     )
-    p_site.add_argument("--readers", type=int, default=4)
-    p_site.add_argument("--tags", type=int, default=1000)
     p_site.add_argument(
-        "--layout", choices=("ring", "line"), default="ring",
-        help="ring: full overlap (redundancy); line: aisle of partial overlap",
+        "--readers", type=int, default=None,
+        help="readers in the site (default: 4; --chaos: 6)",
+    )
+    p_site.add_argument(
+        "--tags", type=int, default=None,
+        help="tags in the field (default: 1000; --chaos: 96)",
+    )
+    p_site.add_argument(
+        "--layout", choices=("ring", "line"), default=None,
+        help="ring: full overlap (redundancy); line: aisle of partial "
+        "overlap (default: ring; --chaos: line)",
     )
     p_site.add_argument("--duration", type=float, default=0.5)
     p_site.add_argument("--seed", type=int, default=0)
     p_site.add_argument(
-        "--loss", type=float, default=0.2,
-        help="per-read loss probability every reader suffers even alone",
+        "--loss", type=float, default=None,
+        help="per-read loss probability every reader suffers even alone "
+        "(default: 0.2; --chaos: 0.15)",
     )
     p_site.add_argument(
-        "--channels", type=int, default=16,
-        help="channels in the coordinator's plan (fewer = more interference)",
+        "--channels", type=int, default=None,
+        help="channels in the coordinator's plan (fewer = more "
+        "interference; default: 16; --chaos: 8)",
     )
     p_site.add_argument(
         "--workers", type=int, default=None,
@@ -908,6 +1042,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_site.add_argument(
         "--out", default="", help="write the canonical site payload here"
+    )
+    p_site.add_argument(
+        "--chaos", action="store_true",
+        help="supervised chaos soak: seeded reader outages, watchdog "
+        "failover, channel re-planning, warm rejoin (see docs/site.md)",
+    )
+    p_site.add_argument(
+        "--epochs", type=int, default=48,
+        help="supervision epochs to run (--chaos)",
+    )
+    p_site.add_argument(
+        "--epoch", type=float, default=0.25,
+        help="epoch barrier length in seconds (--chaos)",
+    )
+    p_site.add_argument(
+        "--outages", type=int, default=10,
+        help="reader deaths the seeded fault plan injects (--chaos)",
+    )
+    p_site.add_argument(
+        "--mobile", type=int, default=4,
+        help="mobile tags orbiting the field across zones (--chaos)",
+    )
+    p_site.add_argument(
+        "--bundle-dir", default="",
+        help="cut one incident bundle per outage episode here (--chaos)",
     )
 
     p_health = sub.add_parser(
@@ -1030,6 +1189,25 @@ def _write_metrics(registry: MetricsRegistry, path: str) -> None:
             handle.write("\n")
 
 
+@contextmanager
+def _use_engine(engine: str) -> Iterator[None]:
+    """Pin ``REPRO_INVENTORY_ENGINE`` for one subcommand; the flag wins.
+
+    Worker subprocesses inherit the environment, so the override reaches
+    sharded runs too; restoring the previous value keeps in-process
+    callers (tests invoking :func:`main` directly) side-effect free.
+    """
+    previous = os.environ.get("REPRO_INVENTORY_ENGINE")
+    os.environ["REPRO_INVENTORY_ENGINE"] = engine
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_INVENTORY_ENGINE", None)
+        else:
+            os.environ["REPRO_INVENTORY_ENGINE"] = previous
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -1050,6 +1228,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             stack.enter_context(use_tracer(tracer))
         if registry is not None:
             stack.enter_context(use_metrics(registry))
+        engine = getattr(args, "engine", None)
+        if engine:
+            stack.enter_context(_use_engine(engine))
         code = COMMANDS[args.command](args)
     if tracer is not None:
         if args.trace_format == "jsonl":

@@ -32,6 +32,8 @@ __all__ = [
     "latency",
     "parallel",
     "report",
+    "site_soak",
+    "soak",
 ]
 
 

@@ -2,23 +2,35 @@
 
 - :mod:`repro.faults.plan` — the declarative, serialisable fault taxonomy;
 - :mod:`repro.faults.injector` — seeded realisation of a plan;
-- :mod:`repro.faults.reader` — a SimReader injecting at the radio boundary.
+- :mod:`repro.faults.reader` — a SimReader injecting at the radio boundary;
+- :mod:`repro.faults.site` — fleet-scale faults (reader outages, antenna
+  degradation, per-reader jams) keyed by reader id for the site runner.
 
 See ``docs/faults.md`` for the taxonomy and the resilience knobs that pair
-with it on the client side (:mod:`repro.reader.resilience`), and
+with it on the client side (:mod:`repro.reader.resilience`),
 ``docs/robustness.md`` for the supervised runtime that recovers from the
-heavier faults (reader crashes, jamming bursts).
+heavier faults, and ``docs/site.md`` for site-scale failover.
 """
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import AntennaBlackout, ChannelJam, FaultPlan, ReaderCrash
 from repro.faults.reader import FaultyReader
+from repro.faults.site import (
+    AntennaDegradation,
+    ReaderChannelJam,
+    ReaderOutage,
+    SiteFaultPlan,
+)
 
 __all__ = [
     "AntennaBlackout",
+    "AntennaDegradation",
     "ChannelJam",
     "FaultInjector",
     "FaultPlan",
     "FaultyReader",
     "ReaderCrash",
+    "ReaderChannelJam",
+    "ReaderOutage",
+    "SiteFaultPlan",
 ]

@@ -1,0 +1,317 @@
+"""Site-scale fault model: whole readers dying, degrading and being jammed.
+
+:class:`~repro.faults.plan.FaultPlan` describes what goes wrong *inside*
+one reader's report path; a :class:`SiteFaultPlan` describes what goes
+wrong *to readers* at fleet scale, keyed by reader id so the sharded site
+runner (one pure task per reader) can apply each reader's share without
+any cross-worker coordination:
+
+- **reader outages** — reader ``reader_id`` is simply gone during
+  ``[at_s, at_s + downtime_s)``: it runs no inventory rounds, emits no
+  reports, and its clock free-runs through the window (a power cut, a
+  crashed controller, a yanked network cable);
+- **antenna degradations** — during a window the reader keeps running but
+  every successful read is additionally lost with probability
+  ``extra_loss`` (water in a connector, a bent patch antenna);
+- **per-reader channel jams** — reports the reader captures on one
+  regulatory channel index (``-1`` = every channel) during a window are
+  destroyed by a local interferer parked next to that reader.
+
+Like the per-reader plan, an empty site plan is a *strict no-op*: applying
+it draws no random numbers and leaves every observation stream untouched,
+so a site run under ``SiteFaultPlan.none()`` is bit-identical to a run
+with no fault layer at all (pinned by the pre-PR golden payloads in
+``tests/golden/site_empty_faults_*.json``).
+
+Degradation drops are the only randomness here and are drawn from a
+dedicated stream derived as ``RngStream(site_seed).child(
+"site-fault-<reader_id>[-<salt>]")`` — private per reader (and per
+supervisor epoch), so fan-out order can never perturb the draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Sequence, Tuple
+
+from repro.util.rng import RngStream
+
+__all__ = [
+    "ReaderOutage",
+    "AntennaDegradation",
+    "ReaderChannelJam",
+    "SiteFaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class ReaderOutage:
+    """Reader ``reader_id`` is dead during ``[at_s, at_s + downtime_s)``."""
+
+    reader_id: int
+    at_s: float
+    downtime_s: float
+
+    def __post_init__(self) -> None:
+        if self.reader_id < 0:
+            raise ValueError("reader id must be non-negative")
+        if self.at_s < 0:
+            raise ValueError("outage time must be non-negative")
+        if self.downtime_s <= 0:
+            raise ValueError("outage downtime must be positive")
+
+    @property
+    def up_at_s(self) -> float:
+        """First simulated time at which the rejoined reader runs again."""
+        return self.at_s + self.downtime_s
+
+    def covers(self, time_s: float) -> bool:
+        """True while the reader is down at ``time_s``."""
+        return self.at_s <= time_s < self.up_at_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (inverse of the constructor kwargs)."""
+        return {
+            "reader_id": self.reader_id,
+            "at_s": round(self.at_s, 9),
+            "downtime_s": round(self.downtime_s, 9),
+        }
+
+
+@dataclass(frozen=True)
+class AntennaDegradation:
+    """Extra iid read loss on one reader during ``[start_s, end_s)``."""
+
+    reader_id: int
+    start_s: float
+    end_s: float
+    extra_loss: float
+
+    def __post_init__(self) -> None:
+        if self.reader_id < 0:
+            raise ValueError("reader id must be non-negative")
+        if self.end_s <= self.start_s:
+            raise ValueError("degradation window must have positive width")
+        if not 0.0 < self.extra_loss <= 1.0:
+            raise ValueError("extra loss must be a probability above zero")
+
+    def covers(self, time_s: float) -> bool:
+        """True when a read at ``time_s`` suffers the extra loss."""
+        return self.start_s <= time_s < self.end_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (inverse of the constructor kwargs)."""
+        return {
+            "reader_id": self.reader_id,
+            "start_s": round(self.start_s, 9),
+            "end_s": round(self.end_s, 9),
+            "extra_loss": round(self.extra_loss, 9),
+        }
+
+
+@dataclass(frozen=True)
+class ReaderChannelJam:
+    """A local interferer destroying one reader's reads on one channel.
+
+    ``channel_index`` is the channel index as that reader observes it (its
+    rotated plan position, the value stamped on its observations); ``-1``
+    jams the reader across the whole band.
+    """
+
+    reader_id: int
+    channel_index: int
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.reader_id < 0:
+            raise ValueError("reader id must be non-negative")
+        if self.channel_index < -1:
+            raise ValueError("channel index must be >= -1")
+        if self.end_s <= self.start_s:
+            raise ValueError("jam window must have positive width")
+
+    def covers(self, channel_index: int, time_s: float) -> bool:
+        """True when a read on this channel at this time is destroyed."""
+        return (
+            self.channel_index in (-1, channel_index)
+            and self.start_s <= time_s < self.end_s
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (inverse of the constructor kwargs)."""
+        return {
+            "reader_id": self.reader_id,
+            "channel_index": self.channel_index,
+            "start_s": round(self.start_s, 9),
+            "end_s": round(self.end_s, 9),
+        }
+
+
+@dataclass(frozen=True)
+class SiteFaultPlan:
+    """Declarative fleet-scale failure scenario, keyed by reader id.
+
+    Pure data: picklable, ``to_dict``/``from_dict`` round-trippable, and
+    sliced per reader by the site workers.  Outages on the same reader may
+    not overlap (a dead reader cannot die again); outages, degradations
+    and jams are kept sorted by start time so the plan's serialised form —
+    and therefore every canonical site payload embedding it — is unique.
+    """
+
+    outages: Tuple[ReaderOutage, ...] = ()
+    degradations: Tuple[AntennaDegradation, ...] = ()
+    jams: Tuple[ReaderChannelJam, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.outages, key=lambda o: (o.reader_id, o.at_s))
+        )
+        if ordered != self.outages:
+            object.__setattr__(self, "outages", ordered)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if (
+                earlier.reader_id == later.reader_id
+                and later.at_s < earlier.up_at_s
+            ):
+                raise ValueError(
+                    "outage windows overlap: reader "
+                    f"{earlier.reader_id} cannot die twice"
+                )
+        for name, key in (
+            ("degradations", lambda d: (d.reader_id, d.start_s, d.end_s)),
+            ("jams", lambda j: (j.reader_id, j.start_s, j.end_s)),
+        ):
+            value = getattr(self, name)
+            ordered = tuple(sorted(value, key=key))
+            if ordered != value:
+                object.__setattr__(self, name, ordered)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "SiteFaultPlan":
+        """The empty plan: applying it is a strict no-op."""
+        return cls()
+
+    @property
+    def is_noop(self) -> bool:
+        """True when no fault can ever fire under this plan."""
+        return not (self.outages or self.degradations or self.jams)
+
+    def reader_noop(self, reader_id: int) -> bool:
+        """True when this plan never touches ``reader_id``."""
+        return not (
+            any(o.reader_id == reader_id for o in self.outages)
+            or any(d.reader_id == reader_id for d in self.degradations)
+            or any(j.reader_id == reader_id for j in self.jams)
+        )
+
+    def outages_for(self, reader_id: int) -> Tuple[ReaderOutage, ...]:
+        """This reader's outage windows, ascending by start time."""
+        return tuple(
+            o for o in self.outages if o.reader_id == reader_id
+        )
+
+    # ------------------------------------------------------------------
+    def up_segments(
+        self, reader_id: int, start_s: float, end_s: float
+    ) -> List[Tuple[float, float]]:
+        """Sub-intervals of ``[start_s, end_s)`` during which the reader runs.
+
+        The complement of the reader's outage windows within the interval;
+        segments are returned ascending and never empty-width.  With no
+        outage the whole interval comes back as one segment.
+        """
+        if end_s <= start_s:
+            return []
+        segments: List[Tuple[float, float]] = []
+        cursor = start_s
+        for outage in self.outages_for(reader_id):
+            if outage.up_at_s <= cursor or outage.at_s >= end_s:
+                continue
+            if outage.at_s > cursor:
+                segments.append((cursor, min(outage.at_s, end_s)))
+            cursor = max(cursor, outage.up_at_s)
+            if cursor >= end_s:
+                break
+        if cursor < end_s:
+            segments.append((cursor, end_s))
+        return segments
+
+    def down_time_s(
+        self, reader_id: int, start_s: float, end_s: float
+    ) -> float:
+        """Total outage time for this reader within ``[start_s, end_s)``."""
+        up = sum(e - s for s, e in self.up_segments(reader_id, start_s, end_s))
+        return max(0.0, (end_s - start_s) - up)
+
+    # ------------------------------------------------------------------
+    def filter_observations(
+        self,
+        observations: Sequence[object],
+        reader_id: int,
+        seed: int,
+        salt: str = "",
+    ) -> Tuple[List[object], int, int]:
+        """Apply this reader's jams and degradations to an observation list.
+
+        Returns ``(kept, n_jammed, n_degraded)``.  Jams are deterministic
+        (window + channel membership); degradations draw one uniform per
+        observation *inside a degradation window only*, from the reader's
+        private ``site-fault-<id>`` stream — so a plan that never touches
+        this reader performs zero draws and keeps every observation.
+        """
+        jams = [j for j in self.jams if j.reader_id == reader_id]
+        degradations = [
+            d for d in self.degradations if d.reader_id == reader_id
+        ]
+        if not jams and not degradations:
+            return list(observations), 0, 0
+        rng = RngStream(seed).child(
+            f"site-fault-{reader_id}{('-' + salt) if salt else ''}"
+        )
+        kept: List[object] = []
+        n_jammed = n_degraded = 0
+        for obs in observations:
+            if any(j.covers(obs.channel_index, obs.time_s) for j in jams):
+                n_jammed += 1
+                continue
+            loss = 0.0
+            for degradation in degradations:
+                if degradation.covers(obs.time_s):
+                    loss = 1.0 - (1.0 - loss) * (1.0 - degradation.extra_loss)
+            if loss > 0.0 and rng.random() < loss:
+                n_degraded += 1
+                continue
+            kept.append(obs)
+        return kept, n_jammed, n_degraded
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form; ``from_dict`` round-trips it exactly."""
+        return {
+            "outages": [o.to_dict() for o in self.outages],
+            "degradations": [d.to_dict() for d in self.degradations],
+            "jams": [j.to_dict() for j in self.jams],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SiteFaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown site fault plan keys: {sorted(unknown)}"
+            )
+        return cls(
+            outages=tuple(
+                ReaderOutage(**o) for o in data.get("outages", ())
+            ),
+            degradations=tuple(
+                AntennaDegradation(**d)
+                for d in data.get("degradations", ())
+            ),
+            jams=tuple(
+                ReaderChannelJam(**j) for j in data.get("jams", ())
+            ),
+        )

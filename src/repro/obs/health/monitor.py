@@ -63,6 +63,12 @@ class HealthPolicy:
     #: Site: raw reports per fused distinct read the redundancy budget
     #: tolerates (beyond it, readers are mostly re-reading each other).
     redundancy_budget: float = 8.0
+    #: Site: fraction of tags that must sit inside some *live* reader's
+    #: zone every supervisor epoch (the coverage-floor SLO).
+    coverage_floor: float = 0.75
+    #: Site: simulated seconds between a reader going silent and the
+    #: supervisor's re-plan taking effect (the failover-time SLO).
+    failover_ceiling_s: float = 1.0
     #: Rolling window (cycles) for the report's aggregate statistics.
     window: int = 50
 
@@ -75,6 +81,10 @@ class HealthPolicy:
             raise ValueError("recovery ceiling must be positive")
         if self.redundancy_budget < 1.0:
             raise ValueError("redundancy budget must be >= 1")
+        if not 0.0 < self.coverage_floor <= 1.0:
+            raise ValueError("coverage floor must be a fraction in (0, 1]")
+        if self.failover_ceiling_s <= 0:
+            raise ValueError("failover ceiling must be positive")
         if self.window < 1:
             raise ValueError("window must be positive")
 
@@ -102,12 +112,24 @@ def default_slos() -> Tuple[SloSpec, ...]:
 
 
 def site_slos() -> Tuple[SloSpec, ...]:
-    """The site-level objectives (per simulated interval)."""
+    """The site-level objectives (per simulated interval / epoch)."""
     return (
         SloSpec(
             name="fusion_redundancy",
             description="raw-report fan-in per fused read stays within "
             "the redundancy budget",
+            target=0.95,
+        ),
+        SloSpec(
+            name="failover_time",
+            description="a dead reader's re-plan takes effect within the "
+            "failover ceiling",
+            target=0.95,
+        ),
+        SloSpec(
+            name="coverage_floor",
+            description="live reader zones keep covering the tag-field "
+            "fraction above the floor",
             target=0.95,
         ),
     )
@@ -403,11 +425,16 @@ class HealthMonitor:
 
 
 class SiteHealthMonitor:
-    """Site-level health: fusion dedup ratio against the redundancy budget.
+    """Site-level health: redundancy, failover time and coverage floor.
 
     Observes whole :class:`~repro.site.site.SiteRun` intervals rather than
     cycles; each interval contributes one ``fusion_redundancy`` SLO
-    observation at the interval's end time.
+    observation at the interval's end time.  The site supervisor
+    additionally feeds it one ``coverage_floor`` observation per epoch
+    (:meth:`observe_coverage`), one ``failover_time`` observation per
+    outage episode (:meth:`observe_failover`), and cuts one incident
+    bundle per episode through :meth:`incident` when a recorder and
+    ``incident_dir`` are wired in.
     """
 
     def __init__(
@@ -415,12 +442,18 @@ class SiteHealthMonitor:
         policy: Optional[HealthPolicy] = None,
         slos: Optional[Iterable[SloSpec]] = None,
         metrics=None,
+        recorder: Optional[FlightRecorder] = None,
+        incident_dir: Optional[str] = None,
     ) -> None:
         self.policy = policy or HealthPolicy()
         self.engine = SloEngine(
             tuple(slos) if slos is not None else site_slos(),
             metrics=metrics,
         )
+        self.metrics = metrics
+        self.recorder = recorder
+        self.incident_dir = incident_dir
+        self.incidents: List[dict] = []
         self.n_intervals = 0
         self._t = 0.0
 
@@ -470,6 +503,72 @@ class SiteHealthMonitor:
         )
         return signals
 
+    def observe_coverage(self, t_s: float, fraction: float) -> None:
+        """One epoch's live-zone coverage fraction against the floor."""
+        self.engine.record(
+            "coverage_floor",
+            t_s,
+            good=fraction >= self.policy.coverage_floor,
+        )
+        if self.metrics is not None:
+            self.metrics.gauge("slo.site_coverage").set(round(fraction, 9))
+
+    def observe_failover(self, t_s: float, failover_s: float) -> None:
+        """One outage episode's silent-to-replanned latency."""
+        self.engine.record(
+            "failover_time",
+            t_s,
+            good=failover_s <= self.policy.failover_ceiling_s,
+        )
+        if self.metrics is not None:
+            self.metrics.gauge("slo.site_failover_s").set(
+                round(failover_s, 9)
+            )
+
+    # ------------------------------------------------------------------
+    def incident(
+        self,
+        reason: str,
+        kind: str,
+        t_s: float,
+        cycle_index: int,
+        config_hash: str = "",
+        checkpoint_generation: int = 0,
+    ) -> Optional[Path]:
+        """Record a site incident; cut one bundle per call when wired.
+
+        The supervisor calls this once per outage *episode* (detection
+        through rejoin is one episode), so the episode dedup lives there;
+        every call that reaches a recorder + directory dumps a bundle.
+        """
+        record = {
+            "seq": len(self.incidents) + 1,
+            "reason": reason,
+            "kind": kind,
+            "t_s": round(float(t_s), 9),
+            "cycle_index": int(cycle_index),
+        }
+        self.incidents.append(record)
+        if self.metrics is not None:
+            self.metrics.counter("health.incidents").inc()
+        if self.recorder is None or self.incident_dir is None:
+            return None
+        path = write_incident_bundle(
+            self.incident_dir,
+            seq=record["seq"],
+            reason=f"{kind}-{reason}",
+            kind=kind,
+            t_s=t_s,
+            cycle_index=cycle_index,
+            recorder=self.recorder,
+            slo_verdicts=self.engine.verdicts(),
+            metrics=self.metrics,
+            config_hash=config_hash,
+            checkpoint_generation=checkpoint_generation,
+        )
+        record["bundle"] = path.name
+        return path
+
     def report(self, run=None) -> dict:
         """Site health report; pass ``run`` to embed its interval signals."""
         out: Dict[str, object] = {
@@ -479,8 +578,12 @@ class SiteHealthMonitor:
             "n_slo_alerts": self.engine.n_alerts,
             "policy": {
                 "redundancy_budget": self.policy.redundancy_budget,
+                "coverage_floor": self.policy.coverage_floor,
+                "failover_ceiling_s": self.policy.failover_ceiling_s,
             },
         }
+        if self.incidents:
+            out["incidents"] = [dict(record) for record in self.incidents]
         if run is not None:
             out["fusion"] = self._interval_signals(run)
         return out

@@ -328,6 +328,85 @@ class SiteInvariantSuite:
         return out
 
     # ------------------------------------------------------------------
+    def check_failover(
+        self, fusion, faults, cycle_index: int = 0
+    ) -> List[Violation]:
+        """No phantom reports during failover: a dead reader stays silent.
+
+        Every fused report attributed to reader *r* must fall outside all
+        of *r*'s outage windows in the :class:`~repro.faults.site.
+        SiteFaultPlan` — a report timestamped inside one would mean churn
+        (re-planning, warm rejoin, checkpoint replay) resurrected data
+        that the dead reader can never have produced.
+        """
+        outages_by_reader: Dict[int, list] = {}
+        for outage in faults.outages:
+            outages_by_reader.setdefault(outage.reader_id, []).append(outage)
+        new = []
+        for report in fusion.reports():
+            for outage in outages_by_reader.get(report.reader_id, ()):
+                if outage.covers(report.time_s):
+                    new.append(
+                        Violation(
+                            cycle_index,
+                            "phantom-report-during-outage",
+                            f"reader {report.reader_id} reported EPC "
+                            f"{report.epc_value:x} at {report.time_s} "
+                            f"inside its outage "
+                            f"[{outage.at_s}, {outage.up_at_s})",
+                        )
+                    )
+        self.violations.extend(new)
+        return new
+
+    def check_lost_zone_staleness(
+        self,
+        fusion,
+        horizon_s: float,
+        bound_s: float,
+        excused_epc_values: Iterable[int] = (),
+        cycle_index: int = 0,
+    ) -> List[Violation]:
+        """Bounded staleness in lost zones: outages may delay, not orphan.
+
+        For every EPC the site ever fused, the largest gap between
+        consecutive sightings — and from the last sighting to the horizon
+        — must stay within ``bound_s``.  Callers set the bound from the
+        fault plan (longest outage plus detection/re-plan slack), so a
+        tag stranded in a dead reader's zone must be picked back up by a
+        boosted neighbour or the rejoined reader within the failover
+        budget.  Tags never fused at all are coverage holes, not
+        staleness breaches (the coverage-floor SLO owns those); pass
+        mobile/known-excused EPCs in ``excused_epc_values``.
+        """
+        excused = set(excused_epc_values)
+        sightings: Dict[int, List[float]] = {}
+        for report in fusion.reports():
+            sightings.setdefault(report.epc_value, []).append(report.time_s)
+        new = []
+        for value, times in sorted(sightings.items()):
+            if value in excused:
+                continue
+            times.sort()
+            worst = 0.0
+            previous = times[0]
+            for t in times[1:]:
+                worst = max(worst, t - previous)
+                previous = t
+            worst = max(worst, horizon_s - previous)
+            if worst > bound_s:
+                new.append(
+                    Violation(
+                        cycle_index,
+                        "stale-lost-zone",
+                        f"EPC {value:x} unseen for {round(worst, 6)} s "
+                        f"(bound {round(bound_s, 6)} s)",
+                    )
+                )
+        self.violations.extend(new)
+        return new
+
+    # ------------------------------------------------------------------
     def check(self, fusion, cycle_index: int = 0) -> List[Violation]:
         """Check every site invariant; returns (and accumulates) breaches."""
         new = (

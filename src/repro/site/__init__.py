@@ -16,15 +16,27 @@ field.  The package splits the problem into four deterministic layers:
   :class:`~repro.reader.SimReader` per placement and shards the simulation
   across the deterministic process pool
   (:func:`repro.experiments.parallel.parallel_map`), one worker per reader
-  group, with byte-stable results at every worker count.
+  group, with byte-stable results at every worker count;
+- :mod:`repro.site.supervisor` — the :class:`SiteSupervisor`: epoch-driven
+  fleet supervision with a missed-report watchdog, dynamic channel
+  re-planning over survivors, coverage rebalancing, warm rejoin from
+  checkpoints, and per-outage incident bundles.
 
 See ``docs/site.md`` for the topology format, the interference model, the
-fusion semantics, and the sharding guarantees.
+fusion semantics, the sharding guarantees, and the failure-mode /
+failover story.
 """
 
 from repro.site.channels import ChannelCoordinator
 from repro.site.fusion import FusedRecord, FusionLayer, TagReport
 from repro.site.site import Site, SiteConfig, SiteRun, simulate_site
+from repro.site.supervisor import (
+    OutageEpisode,
+    SiteChaosReport,
+    SitePolicy,
+    SiteSupervisor,
+    site_config_hash,
+)
 from repro.site.topology import (
     ReaderPlacement,
     SiteTopology,
@@ -37,10 +49,15 @@ __all__ = [
     "FusedRecord",
     "FusionLayer",
     "TagReport",
+    "OutageEpisode",
     "ReaderPlacement",
+    "SiteChaosReport",
+    "SitePolicy",
+    "SiteSupervisor",
     "SiteTopology",
     "line_site",
     "ring_site",
+    "site_config_hash",
     "Site",
     "SiteConfig",
     "SiteRun",

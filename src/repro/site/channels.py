@@ -24,7 +24,7 @@ penalty is monotone in co-channel neighbour count and deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable, Optional
 
 from repro.radio.constants import ChannelPlan, china_920_926
 from repro.radio.geometry import distance
@@ -79,16 +79,30 @@ class ChannelCoordinator:
         """The site's shared regulatory plan."""
         return china_920_926(self.n_channels, self.hop_dwell_s)
 
-    def assign(self, topology: SiteTopology) -> Dict[int, int]:
+    def assign(
+        self,
+        topology: SiteTopology,
+        alive: Optional[Iterable[int]] = None,
+    ) -> Dict[int, int]:
         """Channel offset per reader id: round-robin over the plan.
 
         Reader ids are assigned in ascending order, so the mapping is a
         pure function of the topology — workers never need to agree on it
-        at run time.
+        at run time.  Passing ``alive`` (an id subset) re-plans over the
+        *surviving* topology only: survivors are re-packed round-robin in
+        ascending id order, which is how the site supervisor spreads the
+        spectrum back out after a reader dies.  Dead readers get no entry.
         """
+        if alive is None:
+            readers = topology.readers
+        else:
+            alive_ids = set(alive)
+            readers = tuple(
+                p for p in topology.readers if p.reader_id in alive_ids
+            )
         return {
             placement.reader_id: index % self.n_channels
-            for index, placement in enumerate(topology.readers)
+            for index, placement in enumerate(readers)
         }
 
     def reader_plan(self, offset: int) -> ChannelPlan:
@@ -108,18 +122,31 @@ class ChannelCoordinator:
             hop_dwell_s=base.hop_dwell_s,
         )
 
-    def interference_loss(self, topology: SiteTopology) -> Dict[int, float]:
+    def interference_loss(
+        self,
+        topology: SiteTopology,
+        alive: Optional[Iterable[int]] = None,
+    ) -> Dict[int, float]:
         """Extra per-read loss probability each reader suffers.
 
         Sums the co-channel / off-channel penalty over every *other* reader
         within ``reuse_distance_m``, capped at
-        :data:`MAX_INTERFERENCE_LOSS`.
+        :data:`MAX_INTERFERENCE_LOSS`.  With ``alive`` given, both victims
+        and aggressors are restricted to the surviving subset (a dead
+        reader neither suffers nor radiates) using the re-planned
+        assignment over that subset.
         """
-        assignment = self.assign(topology)
+        assignment = self.assign(topology, alive)
+        if alive is None:
+            readers = topology.readers
+        else:
+            readers = tuple(
+                p for p in topology.readers if p.reader_id in assignment
+            )
         out: Dict[int, float] = {}
-        for victim in topology.readers:
+        for victim in readers:
             loss = 0.0
-            for aggressor in topology.readers:
+            for aggressor in readers:
                 if aggressor.reader_id == victim.reader_id:
                     continue
                 if (

@@ -25,23 +25,36 @@ that, over several topologies and hypothesis-drawn seeds.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
 from repro.experiments.parallel import parallel_map
+from repro.faults.site import SiteFaultPlan
 from repro.gen2.epc import EPC, random_epc_population
+from repro.gen2.inventory import InventoryLog
 from repro.obs.tracer import get_tracer
 from repro.reader.reader import SimReader
 from repro.site.channels import ChannelCoordinator
 from repro.site.fusion import FusionLayer, TagReport
 from repro.site.topology import SiteTopology
 from repro.util.rng import RngStream
-from repro.world.motion import Stationary
+from repro.world.motion import CircularPath, Stationary
 from repro.world.scene import Antenna, Scene, TagInstance
 
-__all__ = ["SiteConfig", "SiteRun", "Site", "simulate_site"]
+__all__ = [
+    "SiteConfig",
+    "SiteRun",
+    "Site",
+    "simulate_site",
+    "site_epcs",
+    "site_tags",
+    "mobile_tag_indices",
+    "build_reader",
+    "run_faulted_interval",
+]
 
 
 @dataclass(frozen=True)
@@ -61,31 +74,66 @@ class SiteConfig:
     #: (cable loss, ambient noise) — the redundancy experiments' miss knob.
     base_read_loss: float = 0.0
     coordinator: ChannelCoordinator = field(default_factory=ChannelCoordinator)
+    #: Fleet-scale failure scenario (reader outages, degradations, jams);
+    #: the empty plan is a strict no-op — see :mod:`repro.faults.site`.
+    faults: SiteFaultPlan = field(default_factory=SiteFaultPlan)
+    #: How many tags orbit the field centre instead of sitting on the grid
+    #: (evenly sampled from the population; they cross reader zones).
+    n_mobile: int = 0
+    #: Tangential speed of the mobile tags.
+    mobile_speed_mps: float = 0.5
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
             raise ValueError("site duration must be positive")
         if not 0.0 <= self.base_read_loss < 1.0:
             raise ValueError("base read loss must be a probability")
+        if not 0 <= self.n_mobile <= self.topology.n_tags:
+            raise ValueError(
+                "mobile tag count must lie within the population"
+            )
+        if self.mobile_speed_mps <= 0:
+            raise ValueError("mobile tag speed must be positive")
 
     def to_dict(self) -> Dict[str, object]:
-        """Primitive dict form — what crosses the process boundary."""
-        return {
+        """Primitive dict form — what crosses the process boundary.
+
+        The resilience fields (``faults``, ``n_mobile``,
+        ``mobile_speed_mps``) are *omitted at their defaults* so the
+        serialised form — and every canonical site payload embedding it —
+        is byte-identical to the pre-resilience format for fault-free,
+        all-stationary configs (the golden files depend on this).
+        """
+        data: Dict[str, object] = {
             "topology": self.topology.to_dict(),
             "seed": self.seed,
             "duration_s": round(self.duration_s, 9),
             "base_read_loss": round(self.base_read_loss, 9),
             "coordinator": self.coordinator.to_dict(),
         }
+        if not self.faults.is_noop:
+            data["faults"] = self.faults.to_dict()
+        if self.n_mobile:
+            data["n_mobile"] = self.n_mobile
+            data["mobile_speed_mps"] = round(self.mobile_speed_mps, 9)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SiteConfig":
+        faults = data.get("faults")
         return cls(
             topology=SiteTopology.from_dict(data["topology"]),
             seed=int(data["seed"]),
             duration_s=float(data["duration_s"]),
             base_read_loss=float(data["base_read_loss"]),
             coordinator=ChannelCoordinator.from_dict(data["coordinator"]),
+            faults=(
+                SiteFaultPlan.from_dict(faults)
+                if faults
+                else SiteFaultPlan.none()
+            ),
+            n_mobile=int(data.get("n_mobile", 0)),
+            mobile_speed_mps=float(data.get("mobile_speed_mps", 0.5)),
         )
 
 
@@ -100,20 +148,64 @@ def site_epcs(config: SiteConfig) -> List[EPC]:
     )
 
 
+def mobile_tag_indices(config: SiteConfig) -> FrozenSet[int]:
+    """Which tag indices orbit the field (evenly sampled, no randomness)."""
+    if config.n_mobile <= 0:
+        return frozenset()
+    n = config.topology.n_tags
+    return frozenset(
+        (i * n) // config.n_mobile for i in range(config.n_mobile)
+    )
+
+
+def _mobile_trajectory(
+    config: SiteConfig, position: Tuple[float, float, float]
+) -> CircularPath:
+    """The orbit a mobile tag follows, derived from its grid slot alone.
+
+    The tag circles the field centre through its own grid position (radius
+    clamped up to one grid pitch so centre tags still move), so the orbit
+    sweeps across reader zones without ever leaving the site.  Pure
+    geometry — no RNG — which keeps the placement stream's draw order
+    identical to the all-stationary layout.
+    """
+    cx, cy, cz = config.topology.field_center
+    dx = position[0] - cx
+    dy = position[1] - cy
+    radius = max(math.hypot(dx, dy), config.topology.spacing_m)
+    return CircularPath(
+        (cx, cy, cz),
+        radius=radius,
+        speed=config.mobile_speed_mps,
+        phase0=math.atan2(dy, dx),
+        z=position[2],
+    )
+
+
 def site_tags(config: SiteConfig) -> List[TagInstance]:
     """The shared tag field every reader's scene views.
 
     EPCs, grid positions and modulation phase offsets depend only on the
     site seed and topology, so all workers rebuild bit-identical tags.
+    Mobile tags (``config.n_mobile``) ride deterministic orbits derived
+    from their grid slot; the placement RNG draws exactly one phase offset
+    per tag either way, so mobility never perturbs the stationary tags.
     """
     epcs = site_epcs(config)
     placement_rng = RngStream(config.seed).child("site-placement")
+    mobile = mobile_tag_indices(config)
     tags = []
-    for epc, position in zip(epcs, config.topology.tag_positions()):
+    for index, (epc, position) in enumerate(
+        zip(epcs, config.topology.tag_positions())
+    ):
+        if index in mobile:
+            trajectory = _mobile_trajectory(config, position)
+        else:
+            trajectory = Stationary(np.asarray(position, dtype=float))
         tags.append(
             TagInstance(
                 epc=epc,
-                trajectory=Stationary(np.asarray(position, dtype=float)),
+                trajectory=trajectory,
                 phase_offset_rad=float(
                     placement_rng.uniform(0.0, 2.0 * np.pi)
                 ),
@@ -122,36 +214,56 @@ def site_tags(config: SiteConfig) -> List[TagInstance]:
     return tags
 
 
-def build_reader(config: SiteConfig, reader_id: int) -> SimReader:
+def build_reader(
+    config: SiteConfig,
+    reader_id: int,
+    *,
+    channel_offset: Optional[int] = None,
+    interference: Optional[float] = None,
+    range_scale: float = 1.0,
+    seed_salt: str = "",
+) -> SimReader:
     """One reader's fully seeded view of the site.
 
-    Pure against ``(config, reader_id)``: seeds are derived per reader by
-    name, the channel offset and interference penalty come from the
-    coordinator's static plan, and the shared tag field is rebuilt from the
-    site seed.  Two calls — in any two processes — return readers that
-    will produce byte-identical observation streams.
+    Pure against ``(config, reader_id)`` plus the explicit overrides:
+    seeds are derived per reader by name, the channel offset and
+    interference penalty default to the coordinator's static full-fleet
+    plan, and the shared tag field is rebuilt from the site seed.  Two
+    calls — in any two processes — return readers that will produce
+    byte-identical observation streams.
+
+    The keyword overrides exist for the :class:`SiteSupervisor`: after a
+    re-plan over the surviving topology it hands each reader its new
+    ``channel_offset``/``interference`` pair, boosts coverage by scaling
+    the antenna range (``range_scale``) and salts the per-epoch seeds
+    (``seed_salt``) so epochs draw independent randomness.  All defaults
+    reproduce the static-plan reader exactly.
     """
     placement = config.topology.reader(reader_id)
     streams = RngStream(config.seed)
     coordinator = config.coordinator
-    offset = coordinator.assign(config.topology)[reader_id]
-    interference = coordinator.interference_loss(config.topology)[reader_id]
+    if channel_offset is None:
+        channel_offset = coordinator.assign(config.topology)[reader_id]
+    if interference is None:
+        interference = coordinator.interference_loss(config.topology)[
+            reader_id
+        ]
     scene = Scene(
         antennas=[
             Antenna(
                 np.asarray(placement.position, dtype=float),
-                range_m=placement.range_m,
+                range_m=placement.range_m * range_scale,
                 name=f"reader-{reader_id}",
             )
         ],
         tags=site_tags(config),
-        channel_plan=coordinator.reader_plan(offset),
-        seed=streams.child_seed(f"site-scene-{reader_id}"),
+        channel_plan=coordinator.reader_plan(channel_offset),
+        seed=streams.child_seed(f"site-scene-{reader_id}{seed_salt}"),
     )
     loss = min(config.base_read_loss + interference, 0.95)
     return SimReader(
         scene,
-        seed=streams.child_seed(f"site-reader-{reader_id}"),
+        seed=streams.child_seed(f"site-reader-{reader_id}{seed_salt}"),
         read_loss_probability=loss,
     )
 
@@ -159,11 +271,75 @@ def build_reader(config: SiteConfig, reader_id: int) -> SimReader:
 # ----------------------------------------------------------------------
 # The sharded run
 # ----------------------------------------------------------------------
+def run_faulted_interval(
+    reader: SimReader,
+    config: SiteConfig,
+    reader_id: int,
+    duration_s: float,
+    fault_salt: str = "",
+) -> Tuple[list, InventoryLog, Dict[str, object]]:
+    """Run one reader for ``duration_s`` under the site fault plan.
+
+    Splits the interval into the reader's up-segments (outage windows are
+    skipped by free-running the clock — the box is simply gone), merges
+    the segment logs, then strips jammed/degraded observations.  Returns
+    ``(observations, merged_log, fault_stats)``.  Shared by the one-shot
+    site worker and the supervisor's epoch worker (which salts the
+    degradation stream per epoch via ``fault_salt``).
+    """
+    faults = config.faults
+    t_start = reader.time_s
+    t_end = t_start + duration_s
+    outages = faults.outages_for(reader_id)
+    observations: list = []
+    n_truncated = 0
+    log: Optional[InventoryLog] = None
+    for seg_start, seg_end in faults.up_segments(reader_id, t_start, t_end):
+        if reader.time_s < seg_start:
+            reader.advance_clock(seg_start - reader.time_s)
+        seg_duration = seg_end - reader.time_s
+        if seg_duration <= 0:
+            continue
+        seg_obs, seg_log = reader.run_duration(seg_duration)
+        for obs in seg_obs:
+            # The engine settles whole rounds, so a round capped at the
+            # segment deadline can read marginally past it — but a reader
+            # that dies at t cannot have read at t: truncate at the
+            # outage instant.
+            if any(o.covers(obs.time_s) for o in outages):
+                n_truncated += 1
+            else:
+                observations.append(obs)
+        if log is None:
+            log = seg_log
+        else:
+            log.merge(seg_log)
+    if log is None:
+        log = InventoryLog(start_time_s=t_start, end_time_s=t_start)
+    if reader.time_s < t_end:
+        reader.advance_clock(t_end - reader.time_s)
+    kept, n_jammed, n_degraded = faults.filter_observations(
+        observations, reader_id, config.seed, salt=fault_salt
+    )
+    stats = {
+        "down_s": round(faults.down_time_s(reader_id, t_start, t_end), 9),
+        "n_outages": sum(
+            1 for o in outages if o.at_s < t_end and o.up_at_s > t_start
+        ),
+        "n_jammed": n_jammed,
+        "n_degraded": n_degraded,
+        "n_truncated": n_truncated,
+    }
+    return kept, log, stats
+
+
 def _simulate_reader(config_dict: Dict[str, object], reader_id: int) -> dict:
     """Worker task: run one reader for the site duration.
 
     Module-level and pure against its (picklable) arguments, per the
-    :func:`parallel_map` contract.  Returns primitives only.
+    :func:`parallel_map` contract.  Returns primitives only.  Readers the
+    fault plan never touches take the exact pre-resilience path, so a
+    fault-free site run stays byte-identical to the pre-PR output.
     """
     config = SiteConfig.from_dict(config_dict)
     reader = build_reader(config, reader_id)
@@ -177,7 +353,13 @@ def _simulate_reader(config_dict: Dict[str, object], reader_id: int) -> dict:
             reader=reader_id,
             read_loss=round(reader.engine.read_loss_probability, 9),
         )
-    observations, log = reader.run_duration(config.duration_s)
+    fault_stats: Optional[Dict[str, object]] = None
+    if config.faults.reader_noop(reader_id):
+        observations, log = reader.run_duration(config.duration_s)
+    else:
+        observations, log, fault_stats = run_faulted_interval(
+            reader, config, reader_id, config.duration_s
+        )
     if span is not None:
         tracer.end(
             span,
@@ -185,7 +367,7 @@ def _simulate_reader(config_dict: Dict[str, object], reader_id: int) -> dict:
             n_reports=len(observations),
             n_rounds=log.n_rounds,
         )
-    return {
+    summary = {
         "reader_id": reader_id,
         "reports": [
             TagReport.from_observation(obs, reader_id).to_row()
@@ -199,6 +381,9 @@ def _simulate_reader(config_dict: Dict[str, object], reader_id: int) -> dict:
             reader.engine.read_loss_probability, 9
         ),
     }
+    if fault_stats is not None:
+        summary["faults"] = fault_stats
+    return summary
 
 
 @dataclass

@@ -86,6 +86,26 @@ class SiteTopology:
                 return placement
         raise KeyError(f"no reader {reader_id} in topology {self.name!r}")
 
+    def neighbors_within(
+        self, reader_id: int, radius_m: float
+    ) -> List[int]:
+        """Ids of the *other* readers within ``radius_m`` of this one.
+
+        Ascending by id — the deterministic order the site supervisor
+        boosts coverage in when a reader dies and its neighbours must
+        stretch their zones over the hole.
+        """
+        centre = self.reader(reader_id).position
+        out = []
+        for placement in self.readers:
+            if placement.reader_id == reader_id:
+                continue
+            if (
+                math.dist(centre, placement.position) <= radius_m
+            ):
+                out.append(placement.reader_id)
+        return out
+
     def tag_positions(self) -> List[Tuple[float, float, float]]:
         """Grid positions of every tag, centred on ``field_center``."""
         rows = (self.n_tags + self.columns - 1) // self.columns

@@ -1,0 +1,187 @@
+"""SiteFaultPlan unit tests: windows, filtering, and the no-op contract.
+
+The site-scale fault plan must honor the same contract as the
+single-reader :class:`~repro.faults.plan.FaultPlan`: an empty plan (and
+a plan that never touches a given reader) draws zero random numbers and
+leaves the run byte-identical to an unfaulted one.
+"""
+
+import pytest
+
+from repro.faults.site import (
+    AntennaDegradation,
+    ReaderChannelJam,
+    ReaderOutage,
+    SiteFaultPlan,
+)
+from repro.gen2.epc import random_epc_population
+from repro.radio.measurement import TagObservation
+
+
+def obs(time_s, channel=0):
+    epc = random_epc_population(1, rng=7)[0]
+    return TagObservation(
+        epc=epc, time_s=time_s, phase_rad=0.0, rss_dbm=-60.0,
+        antenna_index=0, channel_index=channel,
+    )
+
+
+class TestWindows:
+    def test_outage_window_is_half_open(self):
+        outage = ReaderOutage(reader_id=0, at_s=1.0, downtime_s=0.5)
+        assert outage.up_at_s == 1.5
+        assert not outage.covers(0.999)
+        assert outage.covers(1.0)
+        assert outage.covers(1.499)
+        assert not outage.covers(1.5)
+
+    def test_same_reader_outages_cannot_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            SiteFaultPlan(outages=(
+                ReaderOutage(reader_id=2, at_s=1.0, downtime_s=1.0),
+                ReaderOutage(reader_id=2, at_s=1.5, downtime_s=0.2),
+            ))
+        # Different readers may die at the same instant.
+        SiteFaultPlan(outages=(
+            ReaderOutage(reader_id=0, at_s=1.0, downtime_s=1.0),
+            ReaderOutage(reader_id=1, at_s=1.0, downtime_s=1.0),
+        ))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReaderOutage(reader_id=0, at_s=-0.1, downtime_s=1.0)
+        with pytest.raises(ValueError):
+            ReaderOutage(reader_id=0, at_s=0.0, downtime_s=0.0)
+        with pytest.raises(ValueError):
+            AntennaDegradation(
+                reader_id=0, start_s=1.0, end_s=0.5, extra_loss=0.5
+            )
+        with pytest.raises(ValueError):
+            AntennaDegradation(
+                reader_id=0, start_s=0.0, end_s=1.0, extra_loss=0.0
+            )
+        with pytest.raises(ValueError):
+            ReaderChannelJam(
+                reader_id=0, channel_index=-2, start_s=0.0, end_s=1.0
+            )
+
+    def test_up_segments_are_the_outage_complement(self):
+        plan = SiteFaultPlan(outages=(
+            ReaderOutage(reader_id=0, at_s=1.0, downtime_s=1.0),
+            ReaderOutage(reader_id=0, at_s=3.0, downtime_s=0.5),
+        ))
+        assert plan.up_segments(0, 0.0, 4.0) == [
+            (0.0, 1.0), (2.0, 3.0), (3.5, 4.0),
+        ]
+        # An untouched reader is up for the whole interval.
+        assert plan.up_segments(1, 0.0, 4.0) == [(0.0, 4.0)]
+        assert plan.down_time_s(0, 0.0, 4.0) == pytest.approx(1.5)
+        assert plan.down_time_s(1, 0.0, 4.0) == 0.0
+
+    def test_outage_spanning_the_interval_leaves_no_up_segment(self):
+        plan = SiteFaultPlan(outages=(
+            ReaderOutage(reader_id=0, at_s=0.0, downtime_s=10.0),
+        ))
+        assert plan.up_segments(0, 2.0, 3.0) == []
+
+
+class TestNoopContract:
+    def test_empty_plan_is_noop(self):
+        plan = SiteFaultPlan.none()
+        assert plan.is_noop
+        assert plan.reader_noop(0) and plan.reader_noop(99)
+
+    def test_untouched_reader_is_noop_even_in_a_busy_plan(self):
+        plan = SiteFaultPlan(
+            outages=(ReaderOutage(reader_id=0, at_s=1.0, downtime_s=1.0),),
+            jams=(ReaderChannelJam(
+                reader_id=1, channel_index=0, start_s=0.0, end_s=1.0
+            ),),
+        )
+        assert not plan.is_noop
+        assert not plan.reader_noop(0)
+        assert not plan.reader_noop(1)
+        assert plan.reader_noop(2)
+
+    def test_filter_keeps_everything_for_untouched_reader(self):
+        plan = SiteFaultPlan(jams=(
+            ReaderChannelJam(
+                reader_id=0, channel_index=0, start_s=0.0, end_s=1.0
+            ),
+        ))
+        batch = [obs(0.5, channel=0), obs(0.7, channel=1)]
+        kept, n_jammed, n_degraded = plan.filter_observations(batch, 3, 0)
+        assert kept == batch
+        assert (n_jammed, n_degraded) == (0, 0)
+
+
+class TestFiltering:
+    def test_jam_drops_only_matching_channel_inside_window(self):
+        plan = SiteFaultPlan(jams=(
+            ReaderChannelJam(
+                reader_id=0, channel_index=2, start_s=1.0, end_s=2.0
+            ),
+        ))
+        batch = [
+            obs(1.5, channel=2),   # jammed
+            obs(1.5, channel=1),   # other channel: kept
+            obs(2.5, channel=2),   # outside window: kept
+        ]
+        kept, n_jammed, n_degraded = plan.filter_observations(batch, 0, 0)
+        assert len(kept) == 2 and n_jammed == 1 and n_degraded == 0
+
+    def test_wideband_jam_hits_every_channel(self):
+        plan = SiteFaultPlan(jams=(
+            ReaderChannelJam(
+                reader_id=0, channel_index=-1, start_s=0.0, end_s=10.0
+            ),
+        ))
+        batch = [obs(1.0, channel=c) for c in range(5)]
+        kept, n_jammed, _ = plan.filter_observations(batch, 0, 0)
+        assert kept == [] and n_jammed == 5
+
+    def test_total_degradation_drops_everything_in_window(self):
+        plan = SiteFaultPlan(degradations=(
+            AntennaDegradation(
+                reader_id=0, start_s=1.0, end_s=2.0, extra_loss=1.0
+            ),
+        ))
+        batch = [obs(1.5), obs(3.0)]
+        kept, _, n_degraded = plan.filter_observations(batch, 0, 0)
+        assert [o.time_s for o in kept] == [3.0]
+        assert n_degraded == 1
+
+    def test_filter_is_seed_deterministic(self):
+        plan = SiteFaultPlan(degradations=(
+            AntennaDegradation(
+                reader_id=0, start_s=0.0, end_s=10.0, extra_loss=0.5
+            ),
+        ))
+        batch = [obs(0.1 * i) for i in range(40)]
+        first = plan.filter_observations(batch, 0, seed=5)
+        second = plan.filter_observations(batch, 0, seed=5)
+        other_seed = plan.filter_observations(batch, 0, seed=6)
+        assert first == second
+        assert first != other_seed  # the draw stream is really seeded
+
+
+class TestSerialisation:
+    PLAN = SiteFaultPlan(
+        outages=(ReaderOutage(reader_id=1, at_s=2.0, downtime_s=0.75),),
+        degradations=(AntennaDegradation(
+            reader_id=0, start_s=0.5, end_s=1.5, extra_loss=0.3
+        ),),
+        jams=(ReaderChannelJam(
+            reader_id=2, channel_index=3, start_s=1.0, end_s=2.0
+        ),),
+    )
+
+    def test_round_trip(self):
+        clone = SiteFaultPlan.from_dict(self.PLAN.to_dict())
+        assert clone == self.PLAN
+
+    def test_unknown_keys_rejected(self):
+        data = self.PLAN.to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown"):
+            SiteFaultPlan.from_dict(data)

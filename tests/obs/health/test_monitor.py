@@ -56,12 +56,20 @@ class TestPolicyValidation:
             HealthPolicy(redundancy_budget=0.5)
         with pytest.raises(ValueError):
             HealthPolicy(window=0)
+        with pytest.raises(ValueError):
+            HealthPolicy(coverage_floor=0.0)
+        with pytest.raises(ValueError):
+            HealthPolicy(coverage_floor=1.5)
+        with pytest.raises(ValueError):
+            HealthPolicy(failover_ceiling_s=0.0)
 
     def test_default_slo_sets(self):
         assert {s.name for s in default_slos()} == {
             "irr_floor", "staleness_p99", "recovery_time",
         }
-        assert {s.name for s in site_slos()} == {"fusion_redundancy"}
+        assert {s.name for s in site_slos()} == {
+            "fusion_redundancy", "failover_time", "coverage_floor",
+        }
 
 
 class TestIrrFloor:

@@ -1,0 +1,92 @@
+"""Failover invariants: no phantom reports during outages, bounded staleness.
+
+These two checks close the failover loop: the first proves a dead
+reader contributed nothing while dead (anything else means fused state
+was fabricated or mis-timed), the second proves every tag that fused at
+all kept being sighted often enough — i.e. the re-plan actually covered
+the lost zone instead of quietly dropping it.
+"""
+
+from repro.faults.site import ReaderOutage, SiteFaultPlan
+from repro.runtime.invariants import SiteInvariantSuite
+from repro.site.fusion import FusionLayer, TagReport
+
+
+def report(epc=1, reader=0, t=0.0):
+    return TagReport(
+        epc_value=epc, reader_id=reader, time_s=t,
+        antenna_index=0, channel_index=0, phase_rad=0.0, rss_dbm=-60.0,
+    )
+
+
+def fused(*reports):
+    layer = FusionLayer()
+    layer.ingest_many(reports)
+    return layer
+
+
+PLAN = SiteFaultPlan(outages=(
+    ReaderOutage(reader_id=1, at_s=1.0, downtime_s=0.5),
+))
+
+
+class TestNoPhantomDuringFailover:
+    def test_report_inside_the_outage_is_a_phantom(self):
+        suite = SiteInvariantSuite([1])
+        suite.check_failover(fused(report(reader=1, t=1.2)), PLAN)
+        assert len(suite.violations) == 1
+        assert suite.violations[0].name == "phantom-report-during-outage"
+
+    def test_reports_outside_the_window_are_fine(self):
+        suite = SiteInvariantSuite([1])
+        suite.check_failover(
+            fused(
+                report(reader=1, t=0.9),   # before the death
+                report(reader=1, t=1.5),   # exactly at rejoin (half-open)
+                report(reader=0, t=1.2),   # other reader, mid-window
+            ),
+            PLAN,
+        )
+        assert suite.violations == []
+
+    def test_empty_plan_never_flags(self):
+        suite = SiteInvariantSuite([1])
+        suite.check_failover(
+            fused(report(reader=1, t=1.2)), SiteFaultPlan.none()
+        )
+        assert suite.violations == []
+
+
+class TestBoundedStaleness:
+    def test_gap_beyond_bound_is_stale(self):
+        suite = SiteInvariantSuite([1])
+        layer = fused(report(t=0.0), report(t=5.0))
+        suite.check_lost_zone_staleness(layer, horizon_s=5.0, bound_s=2.0)
+        assert len(suite.violations) == 1
+        assert suite.violations[0].name == "stale-lost-zone"
+
+    def test_trailing_silence_counts_against_the_bound(self):
+        suite = SiteInvariantSuite([1])
+        layer = fused(report(t=0.5))  # last sighting, then 4.5 s of nothing
+        suite.check_lost_zone_staleness(layer, horizon_s=5.0, bound_s=2.0)
+        assert len(suite.violations) == 1
+
+    def test_regular_sightings_pass(self):
+        suite = SiteInvariantSuite([1])
+        layer = fused(*(report(t=0.5 * i) for i in range(11)))
+        suite.check_lost_zone_staleness(layer, horizon_s=5.0, bound_s=2.0)
+        assert suite.violations == []
+
+    def test_never_fused_tags_are_the_coverage_slos_problem(self):
+        suite = SiteInvariantSuite([1, 2])  # tag 2 never fused at all
+        layer = fused(*(report(epc=1, t=0.5 * i) for i in range(11)))
+        suite.check_lost_zone_staleness(layer, horizon_s=5.0, bound_s=2.0)
+        assert suite.violations == []
+
+    def test_excused_epcs_are_skipped(self):
+        suite = SiteInvariantSuite([1])
+        layer = fused(report(t=0.0), report(t=5.0))
+        suite.check_lost_zone_staleness(
+            layer, horizon_s=5.0, bound_s=2.0, excused_epc_values={1}
+        )
+        assert suite.violations == []

@@ -1,0 +1,47 @@
+"""Golden differential: the fault-free site run is frozen byte-for-byte.
+
+``tests/golden/site_empty_faults_*.json`` were generated before the
+site-resilience layer existed (no ``faults`` field on ``SiteConfig``, no
+supervisor).  A default-constructed :class:`SiteFaultPlan` must leave
+``simulate_site`` — RNG draws, canonical payload, everything — exactly
+as it was, so these runs must still reproduce the committed bytes.  Any
+diff here means the no-op contract broke and every historical seed is
+silently invalidated.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.site.channels import ChannelCoordinator
+from repro.site.site import SiteConfig, simulate_site
+from repro.site.topology import line_site, ring_site
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+CASES = {
+    "site_empty_faults_ring.json": lambda: SiteConfig(
+        topology=ring_site(3, 36, radius_m=3.0, range_m=12.0),
+        seed=17,
+        duration_s=0.1,
+        base_read_loss=0.2,
+        coordinator=ChannelCoordinator(n_channels=4),
+    ),
+    "site_empty_faults_line.json": lambda: SiteConfig(
+        topology=line_site(3, 30, pitch_m=3.0, range_m=6.0),
+        seed=17,
+        duration_s=0.1,
+        base_read_loss=0.2,
+        coordinator=ChannelCoordinator(n_channels=4),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_empty_fault_plan_reproduces_pre_resilience_bytes(name):
+    golden = (GOLDEN_DIR / name).read_bytes()
+    run = simulate_site(CASES[name](), workers=1)
+    assert run.canonical_bytes() == golden, (
+        f"{name}: fault-free site run no longer matches the pre-resilience "
+        "golden — the SiteFaultPlan no-op contract is broken"
+    )
