@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest underneath.
 
-.PHONY: install test test-faults test-runtime test-site bench bench-smoke bench-micro bench-compare bench-refresh soak soak-smoke site-smoke site-chaos-smoke health-smoke examples reproduce clean
+.PHONY: install test test-faults test-runtime test-site bench bench-smoke bench-micro bench-compare bench-refresh soak soak-smoke site-smoke site-scale-smoke site-chaos-smoke health-smoke examples reproduce clean
 
 install:
 	python setup.py develop
@@ -59,6 +59,16 @@ soak-smoke:
 site-smoke:
 	python -m repro site --readers 4 --tags 1000 --duration 0.5 \
 		--workers 4 --check-differential --out site_run.json
+
+# Site-scale smoke: a 12-reader/2k-tag aisle big enough for the
+# visibility cull and the columnar fusion engine to actually engage.
+# --check-differential re-runs the site sequentially with culling off and
+# the reference fusion engine, so one byte-equality check crosses every
+# fast-path switch at once (docs/site.md#scaling-to-10k100k-tags).
+site-scale-smoke:
+	python -m repro site --layout line --readers 12 --tags 2000 \
+		--duration 0.25 --workers 4 --check-differential \
+		--out site_scale_run.json
 
 # Site chaos smoke: a supervised 3-reader site where the seeded plan
 # kills one reader mid-run.  The supervisor must detect the death,

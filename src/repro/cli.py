@@ -18,9 +18,11 @@ Commands
     Run Tagwatch under an injected fault plan with the resilient client and
     export the structured metrics (retries, backoff, drops, IRR) as JSON;
     ``--sweep`` charts a whole loss-rate degradation curve instead.
-``bench [--name fig02,fig18 --scale smoke|paper --out-dir D]``
+``bench [--name fig02,fig18 --scale smoke|paper|large --out-dir D]``
     Run the profiling workloads under tracing, print the per-phase time
-    budget, and write one ``BENCH_<name>.json`` per workload.
+    budget (plus a per-reader wall table for the site workload), and
+    write one ``BENCH_<name>.json`` per workload; non-smoke scales land
+    under the file's ``tiers`` key.
 ``soak [--cycles N --seed S --out F]``
     Chaos soak: run the supervised runtime (checkpointing, watchdog,
     escalation ladder) for thousands of cycles under a seeded fault
@@ -38,8 +40,10 @@ Commands
     Simulate a multi-reader warehouse site (overlapping coverage, channel
     coordination, reader-to-reader interference) sharded across the
     process pool, fuse the per-reader reports, and run the site invariant
-    suite.  ``--check-differential`` re-runs sequentially and fails
-    unless the sharded result is byte-identical (see ``docs/site.md``).
+    suite.  ``--no-cull`` / ``--fusion reference`` disable the
+    visibility-culled shards and the columnar fusion engine;
+    ``--check-differential`` re-runs sequentially with both off and fails
+    unless the result is byte-identical (see ``docs/site.md``).
 ``site --chaos [--epochs N --outages K --bundle-dir D]``
     Run the site under a :class:`~repro.site.supervisor.SiteSupervisor`
     with a seeded fault plan killing readers mid-run: watchdog detection,
@@ -587,7 +591,10 @@ def cmd_site(args: argparse.Namespace) -> int:
         base_read_loss=_pick(args.loss, 0.2),
         coordinator=ChannelCoordinator(n_channels=_pick(args.channels, 16)),
     )
-    run = simulate_site(config, workers=args.workers)
+    cull = None if not args.no_cull else False
+    run = simulate_site(
+        config, workers=args.workers, cull=cull, fusion_engine=args.fusion
+    )
     per_reader = run.reports_per_reader()
     rows = [
         [
@@ -628,17 +635,23 @@ def cmd_site(args: argparse.Namespace) -> int:
         f"{health['n_slo_alerts']} SLO alert(s)"
     )
     if args.check_differential:
-        reference = simulate_site(config, workers=1)
+        # The reference leg deliberately crosses every fast-path switch at
+        # once: sequential, unculled shards, scalar fusion.  Byte equality
+        # against the (default) culled/columnar sharded run pins all three
+        # optimisations as behaviour-neutral in one check.
+        reference = simulate_site(
+            config, workers=1, cull=False, fusion_engine="reference"
+        )
         if reference.canonical_bytes() != run.canonical_bytes():
             _log.error(
-                "differential check FAILED: sharded run diverges from the "
-                "sequential reference"
+                "differential check FAILED: sharded culled/columnar run "
+                "diverges from the sequential unculled/reference run"
             )
             code = 1
         else:
             _log.info(
-                "differential check: sharded run byte-identical to "
-                "sequential reference"
+                "differential check: sharded run byte-identical to the "
+                "sequential unculled/reference-fusion run"
             )
     if args.out:
         with open(args.out, "wb") as handle:
@@ -802,6 +815,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
         )
     _log.info(bench_module.format_report(results))
+    for result in results:
+        if result.readers:
+            _log.info(bench_module.format_reader_table(result))
     if not args.no_write:
         for result in results:
             path = bench_module.write_bench(result, args.out_dir)
@@ -1038,7 +1054,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_site.add_argument(
         "--check-differential", action="store_true",
-        help="also run sequentially and fail unless byte-identical",
+        help="also run sequentially with culling off and the reference "
+        "fusion engine, and fail unless byte-identical",
+    )
+    p_site.add_argument(
+        "--no-cull", action="store_true",
+        help="disable visibility culling (every shard simulates the full "
+        "tag field; behaviour-neutral, for differential debugging)",
+    )
+    p_site.add_argument(
+        "--fusion", choices=("columnar", "reference"), default=None,
+        help="fusion engine; overrides REPRO_FUSION_ENGINE "
+        "(default: columnar)",
     )
     p_site.add_argument(
         "--out", default="", help="write the canonical site payload here"
@@ -1114,7 +1141,9 @@ def build_parser() -> argparse.ArgumentParser:
         "(fig02, fig18, site, soak)",
     )
     p_bench.add_argument(
-        "--scale", choices=("smoke", "paper"), default="smoke"
+        "--scale", choices=("smoke", "paper", "large"), default="smoke",
+        help="large: the 24-reader x 10k-tag warehouse site tier "
+        "(site workload; other workloads run at paper scale)",
     )
     p_bench.add_argument(
         "--out-dir", default=".", help="where BENCH_<name>.json files land"
@@ -1142,7 +1171,9 @@ def build_parser() -> argparse.ArgumentParser:
         "(fig02, fig18, site, soak)",
     )
     p_compare.add_argument(
-        "--scale", choices=("smoke", "paper"), default="smoke"
+        "--scale", choices=("smoke", "paper", "large"), default="smoke",
+        help="gate against the matching tier of the committed baseline "
+        "(see the tiers key of BENCH_site.json)",
     )
     p_compare.add_argument(
         "--baseline-dir", default=".",

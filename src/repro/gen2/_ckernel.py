@@ -15,7 +15,13 @@ lane consumption are bit-for-bit identical to both existing engines:
   clamps) and C ``rint`` — round-half-to-even, exactly Python's
   ``round(float)`` — for the QueryAdjust decision;
 - simulated time accrues through the same sequence of double additions, so
-  every read timestamp matches the sequential walk bit for bit.
+  every read timestamp matches the sequential walk bit for bit;
+- with link loss on, the buffer holds raw 64-bit PCG64 *words* instead of
+  pre-split lanes: each singleton's loss draw consumes one whole word
+  (``(word >> 11) * 2^-53``, numpy's exact uint64→double conversion) while
+  frame draws split words into lanes low-half first, carrying an unused
+  high lane across frames in a spare register — the precise interleaving
+  :meth:`InventoryEngine._raw_frame_draw` and ``Generator.random`` produce.
 
 The kernel is OPTIONAL.  It is compiled on first use with the system C
 compiler into a cache directory and loaded via :mod:`ctypes`; when no
@@ -54,16 +60,26 @@ _C_SOURCE = r"""
  * consumption, same double arithmetic, same truncation checks.
  *
  * dpar: [t_start, deadline, t_empty, t_single, t_collision, t_adjust,
- *        t_query, c]
+ *        t_query, c, p_loss]
  * ipar: [n, strat (0 = FixedQ, 1 = QAdaptive), q0, with_replacement,
- *        max_slots]
- * out_i: [lane_pos_out | lanes_needed, n_empty, n_single, n_collision,
- *         n_duplicate, n_adjusts, n_frames, truncated, n_reads, n_slots]
+ *        max_slots, spare_lane_in (-1 = none; word mode only)]
+ * out_i: [pos_out | units_needed, n_empty, n_single, n_collision,
+ *         n_duplicate, n_adjusts, n_frames, truncated, n_reads, n_slots,
+ *         spare_lane_out (-1 = none), n_lost]
  * out_d: [t_end]
  *
- * Returns 0 on success, 1 when the lane buffer ran out (out_i[0] then
- * holds the number of lanes needed from lane_pos onward; the caller
- * refills and re-runs the whole round — no state was committed).
+ * Buffer interpretation depends on p_loss.  When p_loss == 0 the buffer
+ * holds pre-split 32-bit lanes and positions count lanes (the historical
+ * contract).  When p_loss > 0 it holds raw 64-bit PCG64 words and
+ * positions count words: each singleton's link-loss draw consumes one
+ * whole word — ``(word >> 11) * 2^-53 < p_loss``, numpy's exact
+ * ``Generator.random()`` conversion — while frame draws split words into
+ * 32-bit lanes low-half first, carrying an unused high lane across frames
+ * in the spare register, exactly like ``_raw_frame_draw`` in Python.
+ *
+ * Returns 0 on success, 1 when the buffer ran out (out_i[0] then holds
+ * the number of lanes/words needed from the entry position onward; the
+ * caller refills and re-runs the whole round — no state was committed).
  */
 long repro_run_round(
     const double *dpar,
@@ -89,20 +105,28 @@ long repro_run_round(
     const double t_adjust = dpar[5];
     const double t_query = dpar[6];
     const double c = dpar[7];
+    const double p_loss = dpar[8];
     const int64_t n = ipar[0];
     const int strat = (int)ipar[1];
     const int with_replacement = (int)ipar[3];
     const int64_t max_slots = ipar[4];
+    const int has_loss = p_loss > 0.0;
+    const uint64_t *words = (const uint64_t *)lanes;
     const int64_t lane_start = lane_pos;
 
     double t = dpar[0];
     int q = (int)ipar[2];
     double qfp = (double)q;
     int64_t frame_length = (int64_t)1 << q;
+    /* Spare 32-bit lane carried across frame draws (word mode only);
+     * reset from ipar on every retry, so a NEED_LANES re-run replays the
+     * round from a clean slate. */
+    int64_t spare = ipar[5];
 
     int64_t n_empty = 0, n_single = 0, n_collision = 0;
     int64_t n_duplicate = 0, n_adjusts = 0, n_frames = 0;
     int64_t n_seen = 0, n_reads = 0, slot_counter = 0;
+    int64_t n_lost = 0;
     int truncated = 0;
 
     /* seen is kernel-owned scratch: clearing it here (rather than in
@@ -121,20 +145,57 @@ long repro_run_round(
         }
 
         if (frame_length > 1) {
-            if (lane_pos + size > lane_len) {
-                /* Caller refills and retries the round from lane_start. */
-                out_i[0] = (lane_pos - lane_start) + size;
-                return 1;
-            }
             const int shift = 32 - q;
             for (int64_t i = 0; i < frame_length; i++) counts[i] = 0;
-            for (int64_t i = 0; i < size; i++) {
-                int32_t d = (int32_t)(lanes[lane_pos + i] >> shift);
-                draws[i] = d;
-                counts[d]++;
-                owner[d] = (int32_t)i;
+            if (!has_loss) {
+                if (lane_pos + size > lane_len) {
+                    /* Caller refills, retries the round from lane_start. */
+                    out_i[0] = (lane_pos - lane_start) + size;
+                    return 1;
+                }
+                for (int64_t i = 0; i < size; i++) {
+                    int32_t d = (int32_t)(lanes[lane_pos + i] >> shift);
+                    draws[i] = d;
+                    counts[d]++;
+                    owner[d] = (int32_t)i;
+                }
+                lane_pos += size;
+            } else {
+                const int64_t need = size - (spare >= 0 ? 1 : 0);
+                const int64_t n_words = (need + 1) >> 1;
+                if (lane_pos + n_words > lane_len) {
+                    out_i[0] = (lane_pos - lane_start) + n_words;
+                    return 1;
+                }
+                int64_t i = 0;
+                if (spare >= 0) {
+                    int32_t d = (int32_t)((uint32_t)spare >> shift);
+                    draws[i] = d;
+                    counts[d]++;
+                    owner[d] = (int32_t)i;
+                    i++;
+                    spare = -1;
+                }
+                while (i < size) {
+                    const uint64_t w = words[lane_pos++];
+                    const uint32_t lo = (uint32_t)w;
+                    const uint32_t hi = (uint32_t)(w >> 32);
+                    int32_t d = (int32_t)(lo >> shift);
+                    draws[i] = d;
+                    counts[d]++;
+                    owner[d] = (int32_t)i;
+                    i++;
+                    if (i < size) {
+                        d = (int32_t)(hi >> shift);
+                        draws[i] = d;
+                        counts[d]++;
+                        owner[d] = (int32_t)i;
+                        i++;
+                    } else {
+                        spare = (int64_t)hi;
+                    }
+                }
             }
-            lane_pos += size;
         } else {
             /* integers(0, 1, ...) consumes no stream words. */
             counts[0] = (int32_t)size;
@@ -151,6 +212,18 @@ long repro_run_round(
             if (occupancy == 1) {
                 t += t_single;
                 n_single++;
+                if (has_loss) {
+                    if (lane_pos >= lane_len) {
+                        out_i[0] = (lane_pos - lane_start) + 1;
+                        return 1;
+                    }
+                    const uint64_t w = words[lane_pos++];
+                    if ((double)(w >> 11) * 0x1p-53 < p_loss) {
+                        n_lost++;
+                        slot_counter++;
+                        continue;
+                    }
+                }
                 const int64_t j = owner[slot];
                 const int64_t p_i = with_replacement ? j : (int64_t)unseen[j];
                 if (seen[p_i]) {
@@ -217,6 +290,8 @@ long repro_run_round(
     out_i[7] = truncated;
     out_i[8] = n_reads;
     out_i[9] = slot_counter;
+    out_i[10] = spare;
+    out_i[11] = n_lost;
     out_d[0] = t;
     return 0;
 }

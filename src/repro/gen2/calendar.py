@@ -21,7 +21,12 @@ are replayed from the engine's pre-fetched PCG64 32-bit lane buffer
 (``lane >> (32 - q)``), and the kernel reports how many lanes it needed when
 the buffer runs dry — the caller refills (which re-snapshots numpy's stream
 position, exactly like :meth:`InventoryEngine._lane_fill`) and re-runs the
-round; nothing was committed, so the retry is idempotent.
+round; nothing was committed, so the retry is idempotent.  With link loss
+on, the buffer instead holds raw 64-bit PCG64 words (see
+:meth:`InventoryEngine._word_fill`): the kernel splits them into frame-draw
+lanes itself, carrying the spare high lane across frames, and spends one
+whole word per singleton loss draw — the exact interleaving the fast
+engine's ``_raw_frame_draw`` + ``Generator.random()`` sequence produces.
 """
 
 from __future__ import annotations
@@ -84,9 +89,9 @@ class CalendarKernel:
         self.fn = lib.repro_run_round if lib is not None else None
         if self.fn is None:
             return
-        self.dpar = (ctypes.c_double * 8)()
+        self.dpar = (ctypes.c_double * 9)()
         self.ipar = (ctypes.c_int64 * 8)()
-        self.out_i = (ctypes.c_int64 * 10)()
+        self.out_i = (ctypes.c_int64 * 12)()
         self.out_d = (ctypes.c_double * 2)()
         self.counts = (ctypes.c_int32 * _ckernel.MAX_FRAME)()
         self.owner = (ctypes.c_int32 * _ckernel.MAX_FRAME)()

@@ -188,6 +188,15 @@ class InventoryEngine:
         self._lane_list: Optional[List[int]] = None
         self._lane_pos = 0
         self._lane_len = 0
+        #: Bulk-prefetched raw 64-bit words (lossy runs only; see
+        #: :meth:`_word_fill`).  When link loss is on the slot stream mixes
+        #: frame-draw lanes with one whole ``Generator.random()`` word per
+        #: singleton, so pre-fetching must happen at word granularity and
+        #: every consumer — frame draws, loss draws, the calendar kernel —
+        #: must drain this buffer in order.
+        self._word_arr: Optional[np.ndarray] = None
+        self._word_pos = 0
+        self._word_len = 0
         #: Lazily created compiled-kernel state for ``engine="calendar"``
         #: (:class:`repro.gen2.calendar.CalendarKernel`).
         self._cal = None
@@ -247,7 +256,6 @@ class InventoryEngine:
         if (
             cal.fn is None
             or on_read is not None
-            or self.read_loss_probability > 0.0
             or (traced and tracer.frame_detail)
             or not _LITTLE_ENDIAN
             or not isinstance(bit_generator, np.random.PCG64)
@@ -335,22 +343,42 @@ class InventoryEngine:
             else float("inf")
         )
         dpar[7] = q_const
+        p_loss = self.read_loss_probability
+        dpar[8] = p_loss
         ipar[0] = n
         ipar[1] = strat_code
         ipar[2] = q0
         ipar[3] = 1 if self.with_replacement else 0
         ipar[4] = self.MAX_SLOTS_PER_ROUND
+        spare_in = self._spare_lane
+        ipar[5] = -1 if spare_in is None else spare_in
 
         cal.prepare(n)
         fn = cal.fn
         raw_draw = bit_generator.random_raw
+        # With loss on, the kernel consumes raw 64-bit words (frame lanes +
+        # one word per singleton loss draw) from the shared lossy word
+        # buffer; loss-free rounds keep the historical pre-split lane
+        # buffer.  Both are re-read each retry because a refill resets the
+        # position to zero.
+        lossy = p_loss > 0.0
         while True:
+            if lossy:
+                buf = self._word_arr
+                buf_ptr = buf.ctypes.data if buf is not None else 0
+                buf_len = self._word_len
+                buf_pos = self._word_pos
+            else:
+                buf = self._lane_arr
+                buf_ptr = buf.ctypes.data if buf is not None else 0
+                buf_len = self._lane_len
+                buf_pos = self._lane_pos
             rc = fn(
                 cal.dpar_ptr,
                 cal.ipar_ptr,
-                self._lane_arr.ctypes.data if self._lane_arr is not None else 0,
-                self._lane_len,
-                self._lane_pos,
+                buf_ptr,
+                buf_len,
+                buf_pos,
                 cal.seen_ptr,
                 cal.draws_ptr,
                 cal.counts_ptr,
@@ -364,14 +392,22 @@ class InventoryEngine:
             )
             if rc == 0:
                 break
-            # Lane buffer ran dry mid-round: refill (keeping everything from
-            # the round's start position) and re-run — the kernel committed
-            # nothing, so the retry is idempotent.  The generous floor keeps
-            # refills rare on long runs.
-            self._lane_fill(raw_draw, cal.out_i[0] + 16384)
+            # Buffer ran dry mid-round: refill (keeping everything from the
+            # round's start position) and re-run — the kernel committed
+            # nothing, so the retry is idempotent.  The kernel only reports
+            # its need *through the stalled frame*, so growing geometrically
+            # (rather than by a fixed slack) keeps the number of full-round
+            # re-walks logarithmic even for with-replacement rounds that
+            # consume millions of words; the overshoot is never wasted —
+            # leftovers carry into subsequent rounds.
+            need = cal.out_i[0]
+            if lossy:
+                self._word_fill(raw_draw, need * 2 + 16384)
+            else:
+                self._lane_fill(raw_draw, need * 2 + 16384)
 
         (
-            lane_pos,
+            pos_out,
             n_empty,
             n_single,
             n_collision,
@@ -381,8 +417,14 @@ class InventoryEngine:
             truncated,
             n_reads,
             n_slots,
+            spare_out,
+            n_lost,
         ) = cal.out_i_np.tolist()
-        self._lane_pos = lane_pos
+        if lossy:
+            self._word_pos = pos_out
+            self._spare_lane = None if spare_out < 0 else spare_out
+        else:
+            self._lane_pos = pos_out
         end_t = cal.out_d[0]
         log = InventoryLog(start_time_s=start_time_s, end_time_s=end_t)
         log.n_rounds = 1
@@ -390,6 +432,7 @@ class InventoryEngine:
         log.n_single = n_single
         log.n_collision = n_collision
         log.n_duplicate = n_duplicate
+        log.n_lost = n_lost
         log.n_adjusts = n_adjusts
         log.truncated = bool(truncated)
         if n_reads:
@@ -622,17 +665,91 @@ class InventoryEngine:
         self._lane_pos = 0
         self._lane_len = int(arr.size)
 
+    def _word_fill(self, raw_draw, min_words: int) -> None:
+        """Grow the raw 64-bit word buffer to at least ``min_words`` unconsumed.
+
+        The lossy counterpart of :meth:`_lane_fill`: with link loss on, the
+        slot stream interleaves frame-draw lanes with one whole word per
+        singleton loss draw, so pre-fetching is only sound at word
+        granularity with *every* consumer draining this buffer in order.
+        Only the calendar kernel's refill-and-retry loop bulk-fills; the
+        fast path's helpers below drain leftovers first and then draw
+        *exactly* what they need, so a pure fast-engine run never builds a
+        buffer and leaves the generator at the same stream position as the
+        reference engine (a contract the differential tests pin).
+        """
+        arr = self._word_arr
+        pos = self._word_pos
+        have = self._word_len - pos
+        want = max(8192, min_words - have)
+        cap = int(arr.size) if arr is not None else 0
+        if arr is None or have + want > cap:
+            # Grow (amortised doubling) and compact the leftover to the
+            # front; between growths fresh words append in place, so the
+            # per-fill cost is one generator call, not a full-buffer copy.
+            new_cap = max(cap * 2, have + want, 16384)
+            fresh_arr = np.empty(new_cap, dtype=np.uint64)
+            if have:
+                fresh_arr[:have] = arr[pos : self._word_len]
+            self._word_arr = arr = fresh_arr
+            self._word_pos = pos = 0
+            self._word_len = have
+        elif pos and pos + have + want > cap:
+            arr[:have] = arr[pos : self._word_len]
+            self._word_pos = pos = 0
+            self._word_len = have
+        end = self._word_len
+        arr[end : end + want] = raw_draw(want)
+        self._word_len = end + want
+
+    def _take_words(self, raw_draw, n: int) -> np.ndarray:
+        """Consume ``n`` raw 64-bit words: buffered leftovers first, then an
+        exact draw — never over-pulling the generator."""
+        pos = self._word_pos
+        have = self._word_len - pos
+        if have <= 0:
+            return raw_draw(n)
+        if have >= n:
+            self._word_pos = pos + n
+            return self._word_arr[pos : pos + n]
+        self._word_pos = self._word_len
+        return np.concatenate(
+            (self._word_arr[pos : self._word_len], raw_draw(n - have))
+        )
+
+    def _take_loss_doubles(self, raw_draw, n: int) -> np.ndarray:
+        """``n`` uniform doubles replayed from raw words.
+
+        ``(word >> 11) * 2^-53`` is numpy's exact uint64→double conversion,
+        so the values match ``Generator.random(n)`` bit for bit while the
+        words come out of the shared buffer.
+        """
+        return (self._take_words(raw_draw, n) >> np.uint64(11)) * 2.0**-53
+
+    def _loss_draw(self, raw_draw) -> float:
+        """One uniform double replayed from raw words (scalar form)."""
+        pos = self._word_pos
+        if pos >= self._word_len:
+            word = int(raw_draw())
+        else:
+            self._word_pos = pos + 1
+            word = int(self._word_arr[pos])
+        return (word >> 11) * 2.0**-53
+
     def _raw_frame_draw(self, raw_draw, size: int, shift: int) -> np.ndarray:
         """One frame draw replayed from raw words with the spare-lane carry.
 
         Used when link loss interleaves scalar ``rng.random()`` draws with
-        the frame draws, which rules out bulk pre-fetching: each frame must
-        consume exactly the lanes ``Generator.integers`` would have.
+        the frame draws: each frame must consume exactly the lanes
+        ``Generator.integers`` would have, with loss draws spending whole
+        words in between.  Words come from the shared lossy word buffer
+        (:meth:`_word_fill`), which keeps fast-path rounds and calendar
+        kernel rounds on one stream no matter how they interleave.
         """
         spare = self._spare_lane
         if spare is None:
             n_words = (size + 1) >> 1
-            lanes = raw_draw(n_words).view(np.uint32)
+            lanes = self._take_words(raw_draw, n_words).view(np.uint32)
             self._spare_lane = int(lanes[-1]) if (n_words << 1) > size else None
             return lanes[:size] >> shift
         if size == 1:
@@ -642,7 +759,7 @@ class InventoryEngine:
             return np.array([spare >> shift], dtype=np.int64)
         need = size - 1
         n_words = (need + 1) >> 1
-        fresh = raw_draw(n_words).view(np.uint32)
+        fresh = self._take_words(raw_draw, n_words).view(np.uint32)
         self._spare_lane = int(fresh[-1]) if (n_words << 1) > need else None
         lanes = np.empty(size, dtype=np.uint32)
         lanes[0] = spare
@@ -775,6 +892,17 @@ class InventoryEngine:
             else None
         )
         buffered = raw_draw is not None and p_loss == 0.0
+        if p_loss > 0.0 and raw_draw is not None:
+            # Loss draws replay whole words from the shared lossy buffer so
+            # they stay in lock-step with the frame draws (and with any
+            # calendar-kernel rounds consuming the same stream).
+            _loss_draw = self._loss_draw
+
+            def loss_rand() -> float:
+                return _loss_draw(raw_draw)
+
+        else:
+            loss_rand = rng.random
 
         n_empty = n_single = n_collision = n_duplicate = n_lost = n_adjusts = 0
 
@@ -852,7 +980,7 @@ class InventoryEngine:
                         if occupancy == 1:
                             t += t_single
                             n_single += 1
-                            if p_loss > 0.0 and rng.random() < p_loss:
+                            if p_loss > 0.0 and loss_rand() < p_loss:
                                 n_lost += 1
                                 slot_counter += 1
                                 continue
@@ -928,7 +1056,7 @@ class InventoryEngine:
                         if occupancy == 1:
                             t += t_single
                             n_single += 1
-                            if p_loss > 0.0 and rng.random() < p_loss:
+                            if p_loss > 0.0 and loss_rand() < p_loss:
                                 n_lost += 1
                                 slot_counter += 1
                                 continue
@@ -1009,7 +1137,7 @@ class InventoryEngine:
                         elif occupancy == 1:
                             t += t_single
                             n_single += 1
-                            if p_loss > 0.0 and rng.random() < p_loss:
+                            if p_loss > 0.0 and loss_rand() < p_loss:
                                 n_lost += 1
                             else:
                                 p_i = owner_by_slot[slot]
@@ -1120,7 +1248,13 @@ class InventoryEngine:
                         else positions[sing_idx[order]]
                     )
                     if p_loss > 0.0 and owner_pos.size:
-                        lost_mask = rng.random(owner_pos.size) < p_loss
+                        if raw_draw is not None:
+                            u = self._take_loss_doubles(
+                                raw_draw, int(owner_pos.size)
+                            )
+                        else:
+                            u = rng.random(owner_pos.size)
+                        lost_mask = u < p_loss
                         n_lost += int(lost_mask.sum())
                         kept = ~lost_mask
                         owner_pos = owner_pos[kept]
@@ -1199,7 +1333,7 @@ class InventoryEngine:
                     elif occupancy == 1:
                         t += t_single
                         n_single += 1
-                        if p_loss > 0.0 and rng.random() < p_loss:
+                        if p_loss > 0.0 and loss_rand() < p_loss:
                             n_lost += 1
                         else:
                             p_i = owner_by_slot[slot]

@@ -35,6 +35,7 @@ __all__ = [
     "run_bench",
     "write_bench",
     "format_report",
+    "format_reader_table",
 ]
 
 
@@ -56,6 +57,9 @@ class BenchResult:
     #: whether the C micro-kernel compiled on this machine — without it a
     #: BENCH_*.json trajectory across machines is uninterpretable.
     engine: Dict[str, object] = field(default_factory=dict)
+    #: Per-reader attribution rows (site workloads only): one dict per
+    #: ``site_reader`` span, in span order, with the reader's wall share.
+    readers: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def slots_per_wall_s(self) -> float:
@@ -83,8 +87,13 @@ class BenchResult:
         return startup / total
 
     def to_dict(self) -> Dict[str, object]:
-        """Stable-shape JSON export (wall timings vary run to run)."""
-        return {
+        """Stable-shape JSON export (wall timings vary run to run).
+
+        The ``readers`` key appears only for workloads that traced
+        ``site_reader`` spans, so the non-site ``BENCH_*.json`` files keep
+        their historical shape byte for byte.
+        """
+        payload = {
             "name": self.name,
             "scale": self.scale,
             "wall_s": round(self.wall_s, 6),
@@ -96,6 +105,9 @@ class BenchResult:
             "workload": self.workload,
             "engine": dict(sorted(self.engine.items())),
         }
+        if self.readers:
+            payload["readers"] = self.readers
+        return payload
 
 
 # ----------------------------------------------------------------------
@@ -166,7 +178,35 @@ def _soak_workload(scale: str) -> Dict[str, object]:
 
 
 def _site_workload(scale: str) -> Dict[str, object]:
-    """The multi-reader redundancy sweep (sharded site simulation)."""
+    """The multi-reader site simulation, at three tiers.
+
+    ``smoke``/``paper`` run the redundancy sweep (overlapping ring sites).
+    ``large`` is the warehouse tier the scale-out stack exists for: one
+    24-reader aisle over 10k tags, simulated through the visibility-culled
+    shards and the columnar fusion engine (the defaults) — the workload the
+    committed ``BENCH_site.json`` tracks under its ``tiers`` key.
+    """
+    if scale == "large":
+        from repro.site.channels import ChannelCoordinator
+        from repro.site.site import SiteConfig, simulate_site
+        from repro.site.topology import line_site
+
+        config = SiteConfig(
+            topology=line_site(24, 10_000),
+            seed=7,
+            duration_s=2.0,
+            base_read_loss=0.2,
+            coordinator=ChannelCoordinator(n_channels=16),
+        )
+        run = simulate_site(config)
+        return {
+            "n_readers": run.n_readers,
+            "n_tags": config.topology.n_tags,
+            "duration_s": round(config.duration_s, 6),
+            "aggregate_reports": run.aggregate_reports,
+            "missed_rate": round(run.missed_rate, 6),
+            "mean_reader_reports": round(run.mean_reader_reports, 3),
+        }
     from repro.experiments import fig_redundancy
 
     if scale == "smoke":
@@ -232,6 +272,7 @@ def _analyze(records: Sequence[object]) -> Dict[str, object]:
     t_max: Optional[float] = None
     frames_from_rounds = 0
     frame_spans = 0
+    readers: List[Dict[str, object]] = []
     # Spans indexed by id so the event pass below can walk parent chains.
     # Records arrive in completion order (children close before parents), so
     # an event's enclosing spans may appear *after* it — hence two passes.
@@ -261,6 +302,21 @@ def _analyze(records: Sequence[object]) -> Dict[str, object]:
                 frame_spans += 1
             elif record.name == "cycle":
                 counts["cycles"] += 1
+            elif record.name == "site_reader":
+                # One reader's whole simulated interval is the site layer's
+                # cycle equivalent; before this attribution the site
+                # workload reported ``cycles: 0`` as if nothing cycled.
+                counts["cycles"] += 1
+                readers.append(
+                    {
+                        "reader": int(record.args.get("reader", -1)),
+                        "n_tags": int(record.args.get("n_tags", 0)),
+                        "n_rounds": int(record.args.get("n_rounds", 0)),
+                        "n_reports": int(record.args.get("n_reports", 0)),
+                        "sim_s": round(record.duration_s, 9),
+                        "wall_s": round(record.wall_duration_s, 6),
+                    }
+                )
             elif record.name == "phase1":
                 breakdown["phase1_s"] += record.duration_s
             elif record.name == "phase2":
@@ -323,7 +379,12 @@ def _analyze(records: Sequence[object]) -> Dict[str, object]:
     # traces recorded before that argument existed.
     counts["frames"] = max(frames_from_rounds, frame_spans)
     sim_s = 0.0 if t_min is None or t_max is None else t_max - t_min
-    return {"breakdown": breakdown, "counts": counts, "sim_s": sim_s}
+    return {
+        "breakdown": breakdown,
+        "counts": counts,
+        "sim_s": sim_s,
+        "readers": readers,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -353,6 +414,11 @@ def run_bench(
 ) -> BenchResult:
     """Run one named workload under tracing; reduce its trace to a budget.
 
+    ``scale`` is ``smoke`` (seconds), ``paper`` (the benchmark-scale run)
+    or ``large`` — the warehouse tier.  Only the site workload defines a
+    distinct large tier (24 readers × 10k tags); the other workloads treat
+    ``large`` as ``paper``.
+
     When the caller already installed an ambient tracer (``--trace-out``),
     the workload's records are appended there and analysed in place, so one
     trace file can carry a whole bench session.
@@ -376,7 +442,7 @@ def run_bench(
         raise ValueError(
             f"unknown bench workload {name!r}; known: {sorted(WORKLOADS)}"
         )
-    if scale not in ("smoke", "paper"):
+    if scale not in ("smoke", "paper", "large"):
         raise ValueError(f"unknown bench scale {scale!r}")
     if warmup < 0 or repeats < 1:
         raise ValueError("warmup must be >= 0 and repeats >= 1")
@@ -424,14 +490,50 @@ def run_bench(
         counts=analysis["counts"],
         workload=workload,
         engine=_engine_provenance(flight),
+        readers=analysis["readers"],
     )
 
 
 def write_bench(result: BenchResult, out_dir: str = ".") -> str:
-    """Write ``BENCH_<name>.json``; returns the path."""
+    """Write ``BENCH_<name>.json``; returns the path.
+
+    One file carries one workload across *all* its benched tiers: the
+    ``smoke`` result is the top-level payload (what the default
+    bench-compare gate reads), and any other scale lands under
+    ``tiers[<scale>]``.  Rewriting one tier preserves the others, so
+    ``make bench-refresh`` (smoke) never discards the committed ``large``
+    tier and a large-tier refresh never perturbs the smoke baseline.
+    """
     path = os.path.join(out_dir, f"BENCH_{result.name}.json")
+    existing: Optional[Dict[str, object]] = None
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = None
+    payload = result.to_dict()
+    if existing is not None:
+        existing_scale = str(existing.get("scale", "smoke"))
+        if result.scale == existing_scale:
+            # Same tier as the committed top level: replace it, keep tiers.
+            if "tiers" in existing:
+                payload["tiers"] = existing["tiers"]
+        elif result.scale == "smoke":
+            # Smoke always holds the top level (the default gate's view);
+            # demote whatever non-smoke result was there into its tier.
+            tiers = dict(existing.get("tiers", {}))
+            existing.pop("tiers", None)
+            tiers[existing_scale] = existing
+            payload["tiers"] = tiers
+        else:
+            # A secondary tier: slot it under the preserved top level.
+            tiers = dict(existing.get("tiers", {}))
+            tiers[result.scale] = payload
+            payload = existing
+            payload["tiers"] = tiers
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
 
@@ -468,4 +570,41 @@ def format_report(results: Sequence[BenchResult]) -> str:
         )
     return format_table(
         headers, rows, title="Bench: per-phase time budget (see docs/observability.md)"
+    )
+
+
+def format_reader_table(result: BenchResult) -> str:
+    """Per-reader wall-time attribution for a site workload's last repeat.
+
+    One row per ``site_reader`` span, in span (task) order: how many tags
+    the culled shard actually simulated, what the reader produced, and the
+    wall seconds its shard cost — the table that shows where a slow site
+    run spent its time, reader by reader.
+    """
+    headers = [
+        "reader", "shard tags", "rounds", "reports", "sim s", "wall s",
+        "wall %",
+    ]
+    total_wall = sum(float(row["wall_s"]) for row in result.readers)
+    rows: List[List[object]] = []
+    for row in result.readers:
+        wall = float(row["wall_s"])
+        rows.append(
+            [
+                row["reader"],
+                row["n_tags"],
+                row["n_rounds"],
+                row["n_reports"],
+                round(float(row["sim_s"]), 3),
+                round(wall, 4),
+                round(100.0 * wall / total_wall, 1) if total_wall else 0.0,
+            ]
+        )
+    return format_table(
+        headers,
+        rows,
+        title=(
+            f"{result.name}/{result.scale}: per-reader wall attribution "
+            f"({len(rows)} reader shard(s), {round(total_wall, 3)} s total)"
+        ),
     )

@@ -109,13 +109,26 @@ class CompareReport:
         return all(not c.regressed for c in self.comparisons)
 
 
-def load_baseline(name: str, baseline_dir: str = ".") -> Optional[Dict]:
-    """Load ``BENCH_<name>.json`` from ``baseline_dir``; None when absent."""
+def load_baseline(
+    name: str, baseline_dir: str = ".", scale: Optional[str] = None
+) -> Optional[Dict]:
+    """Load ``BENCH_<name>.json`` from ``baseline_dir``; None when absent.
+
+    With ``scale`` given, resolves the matching tier: the top-level payload
+    when its ``scale`` matches, else the entry under ``tiers[<scale>]``
+    (see :func:`repro.obs.bench.write_bench`).  Falls back to the top-level
+    payload when no tier matches, preserving the historical behaviour of
+    gating any requested scale against the committed smoke numbers.
+    """
     path = os.path.join(baseline_dir, f"BENCH_{name}.json")
     if not os.path.exists(path):
         return None
     with open(path, "r", encoding="utf-8") as handle:
-        return json.load(handle)
+        payload = json.load(handle)
+    if scale is None or str(payload.get("scale", "smoke")) == scale:
+        return payload
+    tier = payload.get("tiers", {}).get(scale)
+    return tier if tier is not None else payload
 
 
 def compare_result(
@@ -167,7 +180,7 @@ def run_compare(
     report = CompareReport()
     for name in names if names is not None else sorted(WORKLOADS):
         name = name.strip()
-        baseline = load_baseline(name, baseline_dir)
+        baseline = load_baseline(name, baseline_dir, scale=scale)
         if baseline is None:
             report.skipped.append(name)
             continue

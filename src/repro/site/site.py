@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,9 +53,22 @@ __all__ = [
     "site_epcs",
     "site_tags",
     "mobile_tag_indices",
+    "reachable_tag_indices",
+    "site_cull_enabled",
     "build_reader",
     "run_faulted_interval",
+    "CULL_MARGIN_REL",
 ]
+
+#: Relative width of the visibility-culling guard band.  A tag is culled
+#: from a reader's shard only when its whole-trajectory distance lower
+#: bound exceeds the antenna range by more than ``CULL_MARGIN_REL *
+#: (range_m + 1)`` — three orders of magnitude wider than the 1e-9 band
+#: :meth:`repro.world.scene.Scene._range_entries` folds with, so the
+#: culled shard retains a strict superset of every tag the scene could
+#: ever place in range and the simulation output is provably unchanged
+#: (the differential tests pin it byte-for-byte).
+CULL_MARGIN_REL = 1e-6
 
 
 @dataclass(frozen=True)
@@ -140,12 +154,75 @@ class SiteConfig:
 # ----------------------------------------------------------------------
 # Deterministic construction (shared by every worker)
 # ----------------------------------------------------------------------
+#: Per-process memo of ``(seed, n_tags) -> EPC population``.  EPCs are
+#: frozen, so sharing one population across every reader shard built in
+#: the same worker process is safe — and at 10k+ tags the draw loop is
+#: the dominant per-shard construction cost without it.
+_EPC_MEMO: Dict[Tuple[int, int], List[EPC]] = {}
+_EPC_MEMO_LIMIT = 8
+
+
 def site_epcs(config: SiteConfig) -> List[EPC]:
     """The site's tag identities — a pure function of the site seed."""
-    return random_epc_population(
-        config.topology.n_tags,
-        rng=RngStream(config.seed).child("site-epcs"),
+    key = (config.seed, config.topology.n_tags)
+    epcs = _EPC_MEMO.get(key)
+    if epcs is None:
+        epcs = random_epc_population(
+            config.topology.n_tags,
+            rng=RngStream(config.seed).child("site-epcs"),
+        )
+        if len(_EPC_MEMO) >= _EPC_MEMO_LIMIT:
+            _EPC_MEMO.clear()
+        _EPC_MEMO[key] = epcs
+    return epcs
+
+
+def site_cull_enabled() -> bool:
+    """Whether visibility culling is on (``REPRO_SITE_CULL``, default on)."""
+    return os.environ.get("REPRO_SITE_CULL", "1").lower() not in (
+        "0",
+        "off",
+        "false",
     )
+
+
+def reachable_tag_indices(
+    config: SiteConfig, reader_id: int, *, range_scale: float = 1.0
+) -> Optional[List[int]]:
+    """Indices of every tag reader ``reader_id`` could conceivably power.
+
+    The visibility cull behind the site-scale fast path: a tag is dropped
+    from the reader's shard only when the *lower bound* of its distance to
+    the antenna — over the tag's whole trajectory — exceeds the effective
+    antenna range by more than the conservative :data:`CULL_MARGIN_REL`
+    band.  The scene applies the same trajectory bounds with a far tighter
+    (1e-9) guard when it folds its per-round range checks, so every tag
+    the scene would ever report in range survives the cull; removing the
+    rest only renumbers tag indices, which no output surface observes
+    (observations carry EPCs, and every RNG stream draws by participant
+    count, never by absolute index).
+
+    Returns ascending indices, or ``None`` when every tag is reachable
+    (the caller can then skip subsetting entirely — the ring layouts).
+    """
+    placement = config.topology.reader(reader_id)
+    apos = np.asarray(placement.position, dtype=float)
+    range_m = placement.range_m * range_scale
+    limit = range_m + CULL_MARGIN_REL * (range_m + 1.0)
+    positions = config.topology.tag_positions()
+    grid = np.asarray(positions, dtype=float)
+    dist = np.sqrt(((grid - apos) ** 2).sum(axis=1))
+    mobile = mobile_tag_indices(config)
+    for index in mobile:
+        bounds = _mobile_trajectory(
+            config, positions[index]
+        ).distance_bounds(apos)
+        # Unbounded trajectories can come arbitrarily close: never cull.
+        dist[index] = bounds[0] if bounds is not None else 0.0
+    keep = dist <= limit
+    if bool(keep.all()):
+        return None
+    return [int(i) for i in np.nonzero(keep)[0]]
 
 
 def mobile_tag_indices(config: SiteConfig) -> FrozenSet[int]:
@@ -182,7 +259,9 @@ def _mobile_trajectory(
     )
 
 
-def site_tags(config: SiteConfig) -> List[TagInstance]:
+def site_tags(
+    config: SiteConfig, indices: Optional[Sequence[int]] = None
+) -> List[TagInstance]:
     """The shared tag field every reader's scene views.
 
     EPCs, grid positions and modulation phase offsets depend only on the
@@ -190,25 +269,33 @@ def site_tags(config: SiteConfig) -> List[TagInstance]:
     Mobile tags (``config.n_mobile``) ride deterministic orbits derived
     from their grid slot; the placement RNG draws exactly one phase offset
     per tag either way, so mobility never perturbs the stationary tags.
+
+    ``indices`` restricts the returned instances to a subset of the
+    population (ascending tag indices — the visibility cull's output).
+    The full population's randomness is always drawn first — one batched
+    ``uniform`` call, bit-identical to the historical per-tag scalar
+    draws — so the subset's tags are the *same* tags, field for field,
+    that the full build would produce at those indices.
     """
     epcs = site_epcs(config)
     placement_rng = RngStream(config.seed).child("site-placement")
     mobile = mobile_tag_indices(config)
+    positions = config.topology.tag_positions()
+    offsets = placement_rng.uniform(
+        0.0, 2.0 * np.pi, size=config.topology.n_tags
+    )
     tags = []
-    for index, (epc, position) in enumerate(
-        zip(epcs, config.topology.tag_positions())
-    ):
+    for index in range(len(epcs)) if indices is None else indices:
+        position = positions[index]
         if index in mobile:
             trajectory = _mobile_trajectory(config, position)
         else:
             trajectory = Stationary(np.asarray(position, dtype=float))
         tags.append(
             TagInstance(
-                epc=epc,
+                epc=epcs[index],
                 trajectory=trajectory,
-                phase_offset_rad=float(
-                    placement_rng.uniform(0.0, 2.0 * np.pi)
-                ),
+                phase_offset_rad=float(offsets[index]),
             )
         )
     return tags
@@ -222,6 +309,7 @@ def build_reader(
     interference: Optional[float] = None,
     range_scale: float = 1.0,
     seed_salt: str = "",
+    cull: Optional[bool] = None,
 ) -> SimReader:
     """One reader's fully seeded view of the site.
 
@@ -238,6 +326,13 @@ def build_reader(
     the antenna range (``range_scale``) and salts the per-epoch seeds
     (``seed_salt``) so epochs draw independent randomness.  All defaults
     reproduce the static-plan reader exactly.
+
+    ``cull`` controls the visibility fast path (default: the
+    ``REPRO_SITE_CULL`` environment toggle): when on, the scene is built
+    from :func:`reachable_tag_indices` only — behaviour-neutral by the
+    margin argument documented there, but linear in the reader's *zone*
+    rather than the whole site.  Culling uses the boosted range, so a
+    supervisor coverage boost widens the shard accordingly.
     """
     placement = config.topology.reader(reader_id)
     streams = RngStream(config.seed)
@@ -248,6 +343,13 @@ def build_reader(
         interference = coordinator.interference_loss(config.topology)[
             reader_id
         ]
+    if cull is None:
+        cull = site_cull_enabled()
+    indices = (
+        reachable_tag_indices(config, reader_id, range_scale=range_scale)
+        if cull
+        else None
+    )
     scene = Scene(
         antennas=[
             Antenna(
@@ -256,7 +358,7 @@ def build_reader(
                 name=f"reader-{reader_id}",
             )
         ],
-        tags=site_tags(config),
+        tags=site_tags(config, indices),
         channel_plan=coordinator.reader_plan(channel_offset),
         seed=streams.child_seed(f"site-scene-{reader_id}{seed_salt}"),
     )
@@ -333,16 +435,20 @@ def run_faulted_interval(
     return kept, log, stats
 
 
-def _simulate_reader(config_dict: Dict[str, object], reader_id: int) -> dict:
+def _simulate_reader(
+    config_dict: Dict[str, object], reader_id: int, cull: bool = True
+) -> dict:
     """Worker task: run one reader for the site duration.
 
     Module-level and pure against its (picklable) arguments, per the
     :func:`parallel_map` contract.  Returns primitives only.  Readers the
     fault plan never touches take the exact pre-resilience path, so a
-    fault-free site run stays byte-identical to the pre-PR output.
+    fault-free site run stays byte-identical to the pre-PR output.  The
+    cull decision rides in the task tuple (not the environment) so every
+    worker — however spawned — shards identically.
     """
     config = SiteConfig.from_dict(config_dict)
-    reader = build_reader(config, reader_id)
+    reader = build_reader(config, reader_id, cull=cull)
     tracer = get_tracer()
     span = None
     if tracer.enabled:
@@ -352,6 +458,7 @@ def _simulate_reader(config_dict: Dict[str, object], reader_id: int) -> dict:
             category="site",
             reader=reader_id,
             read_loss=round(reader.engine.read_loss_probability, 9),
+            n_tags=len(reader.scene.tags),
         )
     fault_stats: Optional[Dict[str, object]] = None
     if config.faults.reader_noop(reader_id):
@@ -467,7 +574,11 @@ class SiteRun:
 
 
 def simulate_site(
-    config: SiteConfig, workers: Optional[int] = None
+    config: SiteConfig,
+    workers: Optional[int] = None,
+    *,
+    cull: Optional[bool] = None,
+    fusion_engine: Optional[str] = None,
 ) -> SiteRun:
     """Simulate every reader of the site; fuse reports in reader order.
 
@@ -475,18 +586,26 @@ def simulate_site(
     sequential — the behavioural reference; ``-1`` one per core).  One task
     per reader fans out, which both saturates the pool for big sites and
     keeps each worker's RNG state private to one reader.
+
+    ``cull`` (default: the ``REPRO_SITE_CULL`` toggle) selects the
+    visibility-culled shards, and ``fusion_engine`` the
+    :class:`FusionLayer` implementation (default: the
+    ``REPRO_FUSION_ENGINE`` toggle, i.e. columnar).  Both fast paths are
+    behaviour-neutral: ``simulate_site(c, cull=False,
+    fusion_engine="reference")`` produces byte-identical
+    :meth:`SiteRun.canonical_bytes` at every worker count.
     """
+    if cull is None:
+        cull = site_cull_enabled()
     config_dict = config.to_dict()
-    tasks: List[Tuple[Dict[str, object], int]] = [
-        (config_dict, placement.reader_id)
+    tasks: List[Tuple[Dict[str, object], int, bool]] = [
+        (config_dict, placement.reader_id, cull)
         for placement in config.topology.readers
     ]
     summaries = parallel_map(_simulate_reader, tasks, workers=workers)
-    fusion = FusionLayer()
+    fusion = FusionLayer(engine=fusion_engine)
     for summary in summaries:
-        fusion.ingest_many(
-            TagReport.from_row(row) for row in summary["reports"]
-        )
+        fusion.ingest_rows(summary["reports"])
     return SiteRun(
         config=config,
         reader_summaries=summaries,

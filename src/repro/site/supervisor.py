@@ -443,9 +443,9 @@ class SiteSupervisor:
         except CheckpointUnavailable:
             return 0
         rows = envelope["payload"].get("reports", [])
-        return self.fusion.ingest_many(
-            TagReport.from_row(row) for row in rows
-        )
+        # The batch path materialises no TagReport objects for a pure
+        # replay — every row deduplicates against the already-fused set.
+        return self.fusion.ingest_rows(rows)
 
     # ------------------------------------------------------------------
     def run_epoch(self, workers: Optional[int] = None) -> dict:
@@ -471,9 +471,7 @@ class SiteSupervisor:
             _simulate_reader_epoch, tasks, workers=workers
         )
         for summary in summaries:
-            self.fusion.ingest_many(
-                TagReport.from_row(row) for row in summary["reports"]
-            )
+            self.fusion.ingest_rows(summary["reports"])
 
         # Watchdog: silence bookkeeping in ascending reader order.
         newly_dead: List[int] = []
@@ -601,9 +599,7 @@ class SiteSupervisor:
             return False
         payload = envelope["payload"]
         self.fusion = FusionLayer()
-        self.fusion.ingest_many(
-            TagReport.from_row(row) for row in payload.get("reports", [])
-        )
+        self.fusion.ingest_rows(payload.get("reports", []))
         self.epoch_index = int(payload["epoch"]) + 1
         self.believed_dead = set(payload.get("believed_dead", []))
         self._assignment.update(

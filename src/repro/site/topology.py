@@ -13,6 +13,19 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+import numpy as np
+
+#: Per-process memo of tag grids keyed by the four fields that define them.
+#: At 10k–100k tags the grid is rebuilt once per reader shard (the cull and
+#: the scene build both need it), so sharing one list across every equal
+#: topology — reconstructed copies from worker pickles included — removes an
+#: O(n_tags) Python loop per shard.  Callers treat the list as immutable.
+_GRID_MEMO: Dict[
+    Tuple[int, float, int, Tuple[float, float, float]],
+    List[Tuple[float, float, float]],
+] = {}
+_GRID_MEMO_LIMIT = 8
+
 
 @dataclass(frozen=True)
 class ReaderPlacement:
@@ -107,17 +120,29 @@ class SiteTopology:
         return out
 
     def tag_positions(self) -> List[Tuple[float, float, float]]:
-        """Grid positions of every tag, centred on ``field_center``."""
+        """Grid positions of every tag, centred on ``field_center``.
+
+        Memoised per process and computed with vectorised arithmetic whose
+        operation order matches the historical scalar loop exactly
+        (``x0 + col * spacing``, one IEEE multiply and add per coordinate),
+        so the returned floats are bit-identical to it.  The shared list
+        must be treated as immutable.
+        """
+        key = (self.n_tags, self.spacing_m, self.columns, self.field_center)
+        cached = _GRID_MEMO.get(key)
+        if cached is not None:
+            return cached
         rows = (self.n_tags + self.columns - 1) // self.columns
         cx, cy, cz = self.field_center
         x0 = cx - (min(self.n_tags, self.columns) - 1) * self.spacing_m / 2.0
         y0 = cy - (rows - 1) * self.spacing_m / 2.0
-        out = []
-        for i in range(self.n_tags):
-            row, col = divmod(i, self.columns)
-            out.append(
-                (x0 + col * self.spacing_m, y0 + row * self.spacing_m, cz)
-            )
+        row, col = np.divmod(np.arange(self.n_tags), self.columns)
+        xs = x0 + col * self.spacing_m
+        ys = y0 + row * self.spacing_m
+        out = list(zip(xs.tolist(), ys.tolist(), [float(cz)] * self.n_tags))
+        if len(_GRID_MEMO) >= _GRID_MEMO_LIMIT:
+            _GRID_MEMO.clear()
+        _GRID_MEMO[key] = out
         return out
 
     def to_dict(self) -> Dict[str, object]:

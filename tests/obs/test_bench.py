@@ -10,6 +10,7 @@ from repro.obs.bench import (
     WORKLOADS,
     BenchResult,
     _analyze,
+    format_reader_table,
     format_report,
     run_bench,
     write_bench,
@@ -147,6 +148,82 @@ def test_startup_cpu_share_derivation():
     )
     assert empty.startup_cpu_share == 0.0
     assert empty.slots_per_wall_s == 0.0
+
+
+# ----------------------------------------------------------------------
+# Site attribution: site_reader spans are the site layer's cycles
+# ----------------------------------------------------------------------
+def _site_reader_span(tracer, reader, start, end, n_tags=50, n_rounds=2,
+                      n_reports=10):
+    span = tracer.begin("site_reader", t=start, category="site",
+                        reader=reader, read_loss=0.1, n_tags=n_tags)
+    tracer.end(span, t=end, n_reports=n_reports, n_rounds=n_rounds)
+
+
+def test_analyze_counts_site_reader_spans_as_cycles():
+    tracer = Tracer()
+    _site_reader_span(tracer, reader=0, start=0.0, end=0.25)
+    _site_reader_span(tracer, reader=1, start=0.0, end=0.25, n_tags=7)
+    analysis = _analyze(tracer.records)
+    assert analysis["counts"]["cycles"] == 2
+    rows = analysis["readers"]
+    assert [row["reader"] for row in rows] == [0, 1]
+    assert rows[1]["n_tags"] == 7
+    assert rows[0]["sim_s"] == 0.25
+    assert rows[0]["n_rounds"] == 2 and rows[0]["n_reports"] == 10
+    assert all(row["wall_s"] >= 0.0 for row in rows)
+
+
+def test_site_bench_attribution_and_reader_table():
+    """The site workload reports truthful cycles and a per-reader table."""
+    result = run_bench("site", scale="smoke", warmup=0, repeats=1)
+    assert result.counts["cycles"] > 0
+    assert len(result.readers) == result.counts["cycles"]
+    assert "readers" in result.to_dict()
+    table = format_reader_table(result)
+    assert "per-reader wall attribution" in table
+    assert "shard tags" in table
+    # Non-site workloads keep their historical JSON shape: no readers key.
+    assert "readers" not in BenchResult(
+        name="x", scale="smoke", wall_s=1.0, sim_s=1.0,
+        breakdown={}, counts={},
+    ).to_dict()
+
+
+def test_write_bench_merges_tiers(tmp_path):
+    """Secondary scales land under ``tiers`` and survive smoke rewrites."""
+    smoke = BenchResult(
+        name="site", scale="smoke", wall_s=1.0, sim_s=1.0,
+        breakdown={}, counts={"slots": 10},
+    )
+    large = BenchResult(
+        name="site", scale="large", wall_s=2.0, sim_s=4.0,
+        breakdown={}, counts={"slots": 400},
+    )
+    out = str(tmp_path)
+    path = write_bench(smoke, out)
+    write_bench(large, out)
+    data = json.loads(open(path).read())
+    assert data["scale"] == "smoke"
+    assert data["counts"]["slots"] == 10
+    assert data["tiers"]["large"]["counts"]["slots"] == 400
+    # Refreshing the smoke tier must not discard the committed large tier.
+    write_bench(smoke, out)
+    data = json.loads(open(path).read())
+    assert data["tiers"]["large"]["counts"]["slots"] == 400
+    # Refreshing the large tier must not perturb the smoke top level.
+    write_bench(large, out)
+    data = json.loads(open(path).read())
+    assert data["scale"] == "smoke" and data["counts"]["slots"] == 10
+    # A smoke write over a large-only file promotes smoke to the top.
+    solo = str(tmp_path / "solo")
+    import os
+    os.makedirs(solo)
+    path2 = write_bench(large, solo)
+    write_bench(smoke, solo)
+    data = json.loads(open(path2).read())
+    assert data["scale"] == "smoke"
+    assert data["tiers"]["large"]["counts"]["slots"] == 400
 
 
 def _time_fig02(repeats=3):

@@ -25,6 +25,24 @@ def test_load_baseline_missing(tmp_path):
     assert load_baseline("fig18", str(tmp_path)) is None
 
 
+def test_load_baseline_resolves_tiers(tmp_path):
+    """``scale`` picks the matching tier; unknown tiers fall back to top."""
+    import json
+
+    payload = _result().to_dict()
+    payload["tiers"] = {
+        "large": _result(slots=4000, wall=2.0).to_dict() | {"scale": "large"}
+    }
+    (tmp_path / "BENCH_fig18.json").write_text(json.dumps(payload))
+    top = load_baseline("fig18", str(tmp_path), scale="smoke")
+    assert top["counts"]["slots"] == 1000
+    large = load_baseline("fig18", str(tmp_path), scale="large")
+    assert large["counts"]["slots"] == 4000
+    fallback = load_baseline("fig18", str(tmp_path), scale="paper")
+    assert fallback["counts"]["slots"] == 1000
+    assert load_baseline("fig18", str(tmp_path))["counts"]["slots"] == 1000
+
+
 def test_throughput_gate_tolerates_noise_but_fails_on_regression():
     c = BenchComparison(
         name="fig18",
